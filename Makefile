@@ -1,0 +1,39 @@
+# CoReDA build and evaluation targets.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper (EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/coreda-bench
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/teamaking
+	$(GO) run ./examples/personalization
+	$(GO) run ./examples/newadl
+	$(GO) run ./examples/multiroutine
+	$(GO) run ./examples/caregiver
+	$(GO) run ./examples/baselines
+
+fuzz:
+	$(GO) test ./internal/wire -fuzz FuzzDecode -fuzztime 30s
+
+clean:
+	$(GO) clean -testcache
+	rm -f coreda-sim coreda-train coreda-server coreda-node coreda-bench coreda-report

@@ -1,0 +1,144 @@
+// Command coreda-bench regenerates every table and figure of the CoReDA
+// paper's evaluation, printing the paper's reported numbers next to the
+// measured ones, plus the ablations described in DESIGN.md.
+//
+// Usage:
+//
+//	coreda-bench [-seed N] [-samples N] [-episodes N] [table3|figure4|table4|figure1|ablations|comparison|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"coreda/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "master random seed")
+	samples := flag.Int("samples", 40, "samples per step for table 3 (paper: 40)")
+	episodes := flag.Int("episodes", 120, "training samples per ADL for figure 4 (paper: 120)")
+	incidents := flag.Int("incidents", 30, "test samples per ADL for table 4 (paper: 30)")
+	flag.Parse()
+
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	run := func(name string, fn func() error) {
+		if which != "all" && which != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "coreda-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(experiments.RenderTable1())
+		return nil
+	})
+	run("table2", func() error {
+		fmt.Print(experiments.RenderTable2())
+		return nil
+	})
+	run("figure1", func() error {
+		tl, err := experiments.RunFigure1(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure1(tl))
+		return nil
+	})
+	run("table3", func() error {
+		res, err := experiments.RunTable3(*seed, *samples)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable3(res))
+		return nil
+	})
+	run("figure4", func() error {
+		res, err := experiments.RunFigure4(*seed, *episodes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFigure4(res))
+		return nil
+	})
+	run("table4", func() error {
+		res, err := experiments.RunTable4(*seed, *incidents)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderTable4(res))
+		return nil
+	})
+	run("ablations", func() error {
+		lam, err := experiments.RunLambdaAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblation("Ablation: eligibility-trace decay (plain TD(lambda))", lam, ""))
+		fast, err := experiments.RunFastLearningAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblation("Ablation: fast learning (paper future-work item 2)", fast, ""))
+		rew, err := experiments.RunRewardAblation()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAblation("Ablation: reward ratio vs prompt level", rew, "fraction minimal prompts"))
+		c, n, err := experiments.RunLevelAdaptation(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Ablation: closed-loop level adaptation")
+		fmt.Printf("  compliant user:     minimal fraction = %.2f\n", c)
+		fmt.Printf("  non-compliant user: minimal fraction = %.2f\n", n)
+		algos, err := experiments.RunAlgorithmComparison()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderAlgorithms(algos))
+		return nil
+	})
+	run("comparison", func() error {
+		rows, err := experiments.RunBaselineComparison(*seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderComparison(rows))
+		return nil
+	})
+	run("sweeps", func() error {
+		noise, err := experiments.RunNoiseSweep(*seed, 25)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderNoiseSweep(noise))
+		loss, err := experiments.RunLossSweep(*seed, 40, 8)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderLossSweep(loss))
+		noisyTrain, err := experiments.RunNoisyTraining(*seed, *episodes)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderNoisyTraining(noisyTrain))
+		return nil
+	})
+
+	switch which {
+	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "sweeps":
+	default:
+		fmt.Fprintf(os.Stderr, "coreda-bench: unknown experiment %q\n", which)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,165 @@
+// Command coreda-node simulates the sensor nodes of an activity over TCP:
+// it connects one node per tool to a coreda-server, acts out the user's
+// routine (with configurable freezes and wrong tools), reacts to LED
+// commands, and prints what "the user" experiences.
+//
+// Usage:
+//
+//	coreda-node [-addr localhost:7007] [-activity tea-making]
+//	            [-sessions 3] [-severity 0.3] [-speed 1] [-seed 1]
+//
+// speed scales the pacing: at -speed 10 a 4-second gesture takes 0.4
+// wall-clock seconds (use the same factor as the server).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+	"coreda/internal/rtbridge"
+	"coreda/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7007", "server address")
+	activityName := flag.String("activity", "tea-making", "activity to perform")
+	activityFile := flag.String("activity-file", "", "JSON activity declaration overriding -activity")
+	sessions := flag.Int("sessions", 3, "how many times to perform the activity")
+	severity := flag.Float64("severity", 0.3, "dementia severity in [0,1]")
+	speed := flag.Float64("speed", 1, "pacing speed-up factor (match the server)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*addr, *activityName, *activityFile, *sessions, *severity, *speed, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "coreda-node:", err)
+		os.Exit(1)
+	}
+}
+
+// prompt is what the user perceives from the LEDs: which tool lit green.
+type prompt struct {
+	tool     adl.ToolID
+	specific bool
+}
+
+func run(addr, activityName, activityFile string, sessions int, severity, speed float64, seed int64) error {
+	activity, err := resolveActivity(activityName, activityFile)
+	if err != nil {
+		return err
+	}
+	user := coreda.NewPersona("node-user", severity)
+	if err := user.SetRoutine(activity, activity.CanonicalRoutine()); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	elapsed := func() time.Duration { return time.Since(start) }
+	pace := func(d time.Duration) { time.Sleep(time.Duration(float64(d) / speed)) }
+
+	prompts := make(chan prompt, 16)
+	nodes := map[adl.ToolID]*rtbridge.NodeClient{}
+	for id := range activity.Tools {
+		id := id
+		n, err := rtbridge.DialNode(addr, uint16(id), func(e rtbridge.LEDEvent) {
+			name := toolName(activity, id)
+			fmt.Printf("  [node %d] %s LED blinks x%d on %s\n", id, e.Color, e.Blinks, name)
+			if e.Color == wire.LEDGreen && e.Blinks > 0 {
+				select {
+				case prompts <- prompt{tool: id, specific: e.Blinks > 4}:
+				default:
+				}
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("dial node %d: %w", id, err)
+		}
+		defer n.Close()
+		nodes[id] = n
+	}
+
+	use := func(step adl.Step) error {
+		fmt.Printf("user: %s (%s)\n", step.Name, toolName(activity, step.Tool))
+		n := nodes[step.Tool]
+		if err := n.UseStart(elapsed(), 5); err != nil {
+			return err
+		}
+		pace(step.TypicalDuration)
+		return n.UseEnd(elapsed(), step.TypicalDuration)
+	}
+
+	routine := activity.CanonicalRoutine()
+	for s := 0; s < sessions; s++ {
+		fmt.Printf("--- session %d/%d ---\n", s+1, sessions)
+		for i := 0; i < len(routine); {
+			step, _ := activity.StepByID(routine[i])
+			pace(2 * time.Second)
+			switch {
+			case i > 0 && rng.Float64() < user.FreezeProb:
+				fmt.Println("user: ...freezes, waiting for a reminder...")
+				p := <-prompts
+				if st, ok := activity.StepByID(adl.StepOf(p.tool)); ok {
+					if err := use(st); err != nil {
+						return err
+					}
+					if st.ID() == routine[i] {
+						i++
+					}
+				}
+			case i > 0 && rng.Float64() < user.WrongToolProb:
+				wrong := routine[(i+1)%len(routine)]
+				st, _ := activity.StepByID(wrong)
+				fmt.Printf("user: (confused) reaches for the %s\n", toolName(activity, st.Tool))
+				if err := use(st); err != nil {
+					return err
+				}
+				p := <-prompts
+				if st2, ok := activity.StepByID(adl.StepOf(p.tool)); ok {
+					if err := use(st2); err != nil {
+						return err
+					}
+					if st2.ID() == routine[i] {
+						i++
+					}
+				}
+			default:
+				if err := use(step); err != nil {
+					return err
+				}
+				i++
+			}
+		}
+		pace(3 * time.Second)
+	}
+	fmt.Println("done")
+	return nil
+}
+
+func resolveActivity(name, file string) (*coreda.Activity, error) {
+	if file != "" {
+		return coreda.LoadActivityFile(file)
+	}
+	return findActivity(name)
+}
+
+func findActivity(name string) (*coreda.Activity, error) {
+	for _, a := range []*coreda.Activity{
+		coreda.ToothBrushing(), coreda.TeaMaking(), coreda.HandWashing(), coreda.Medication(), coreda.Dressing(),
+	} {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown activity %q", name)
+}
+
+func toolName(a *coreda.Activity, id adl.ToolID) string {
+	if t, ok := a.Tool(id); ok {
+		return t.Name
+	}
+	return fmt.Sprintf("tool-%d", id)
+}

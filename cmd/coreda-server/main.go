@@ -1,0 +1,133 @@
+// Command coreda-server runs the CoReDA gateway + system over real TCP:
+// sensor nodes (cmd/coreda-node) connect and report tool usage; the
+// server learns or assists, prints reminders to stdout (the "display" of
+// the paper's reminding subsystem) and sends LED commands back to the
+// nodes.
+//
+// Usage:
+//
+//	coreda-server [-addr :7007] [-activity tea-making] [-mode learn|assist]
+//	              [-user "Mr. Tanaka"] [-speed 1] [-policy policy.json]
+//	              [-save policy.json]
+//
+// With -policy, a previously trained policy is loaded before serving;
+// with -save, the (possibly updated) policy is written on SIGINT.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"coreda"
+	"coreda/internal/rtbridge"
+)
+
+func main() {
+	addr := flag.String("addr", ":7007", "listen address")
+	activityName := flag.String("activity", "tea-making", "activity to support")
+	activityFile := flag.String("activity-file", "", "JSON activity declaration overriding -activity")
+	mode := flag.String("mode", "learn", "session mode: learn or assist")
+	user := flag.String("user", "Mr. Tanaka", "user name for personalized reminders")
+	speed := flag.Float64("speed", 1, "simulated seconds per wall-clock second")
+	policy := flag.String("policy", "", "policy file to load before serving")
+	save := flag.String("save", "", "policy file to write on shutdown")
+	keepLearning := flag.Bool("keep-learning", false, "continue learning during assist sessions")
+	flag.Parse()
+
+	if err := run(*addr, *activityName, *activityFile, *mode, *user, *speed, *policy, *save, *keepLearning); err != nil {
+		fmt.Fprintln(os.Stderr, "coreda-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, activityName, activityFile, modeName, user string, speed float64, policy, save string, keepLearning bool) error {
+	activity, err := resolveActivity(activityName, activityFile)
+	if err != nil {
+		return err
+	}
+	var mode coreda.Mode
+	switch modeName {
+	case "learn":
+		mode = coreda.ModeLearn
+	case "assist":
+		mode = coreda.ModeAssist
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	srv, err := rtbridge.NewServer(rtbridge.ServerConfig{
+		Mode:  mode,
+		Speed: speed,
+		OnLog: func(msg string) { fmt.Println(msg) },
+		System: coreda.SystemConfig{
+			Activity:     activity,
+			UserName:     user,
+			KeepLearning: keepLearning,
+			OnReminder: func(r coreda.Reminder) {
+				fmt.Printf("REMINDER [%s, %s]: %s (picture %s)\n", r.Trigger, r.Level, r.Text, r.Picture)
+			},
+			OnPraise: func(p coreda.Praise) {
+				fmt.Printf("PRAISE: %s\n", p.Text)
+			},
+			OnComplete: func() {
+				fmt.Printf("activity %q completed\n", activity.Name)
+			},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if policy != "" {
+		if err := srv.System().LoadPolicy(policy); err != nil {
+			return err
+		}
+		fmt.Printf("loaded policy from %s\n", policy)
+	}
+
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("coreda-server: %s on %s (mode %s, speed %gx)\n", activity.Name, l.Addr(), mode, speed)
+
+	go srv.Run()
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		if save != "" {
+			srv.Do(func() {
+				if err := srv.System().SavePolicy(save); err != nil {
+					fmt.Fprintln(os.Stderr, "save policy:", err)
+				} else {
+					fmt.Printf("policy saved to %s\n", save)
+				}
+			})
+		}
+		srv.Stop()
+		l.Close()
+	}()
+	return srv.Serve(l)
+}
+
+func resolveActivity(name, file string) (*coreda.Activity, error) {
+	if file != "" {
+		return coreda.LoadActivityFile(file)
+	}
+	return findActivity(name)
+}
+
+func findActivity(name string) (*coreda.Activity, error) {
+	for _, a := range []*coreda.Activity{
+		coreda.ToothBrushing(), coreda.TeaMaking(), coreda.HandWashing(), coreda.Medication(), coreda.Dressing(),
+	} {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown activity %q", name)
+}

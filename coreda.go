@@ -1,0 +1,150 @@
+// Package coreda is a reproduction of CoReDA — the Context-aware
+// Reminding system for Daily Activities of dementia patients (Si, Kim,
+// Kawanishi, Morikawa; ICDCS 2007 workshops).
+//
+// CoReDA watches a person perform an activity of daily living (ADL)
+// through sensor nodes attached to the activity's tools, learns the
+// person's own routine with TD(λ) Q-learning, and — once the routine is
+// learned — reminds them of the next step the moment they freeze or reach
+// for the wrong tool, using text, a tool picture and LEDs on the tools
+// themselves.
+//
+// The package wires together the three subsystems of the paper's
+// architecture (sensing → planning → reminding) behind two entry points:
+//
+//   - System: the full stack for one user and one activity, fed by
+//     gateway usage events (simulated radio or real TCP);
+//   - Simulation: a deterministic closed-loop lab — simulated sensor
+//     nodes, radio, and a persona acting out the ADL — used by the
+//     examples and by every experiment harness.
+package coreda
+
+import (
+	"coreda/internal/adl"
+	"coreda/internal/core"
+	"coreda/internal/persona"
+	"coreda/internal/reminding"
+	"coreda/internal/sensing"
+	"coreda/internal/sensornet"
+	"coreda/internal/sim"
+)
+
+// Domain model re-exports. The implementation lives in internal packages;
+// these aliases are the supported public names.
+type (
+	// Activity is an ADL: an ordered set of steps performed with tools.
+	Activity = adl.Activity
+	// Step is one step of an activity.
+	Step = adl.Step
+	// Tool is a sensor-instrumented object used by an activity.
+	Tool = adl.Tool
+	// ToolID identifies a tool (== the unique ID of its sensor node).
+	ToolID = adl.ToolID
+	// StepID identifies a step by its main tool; 0 is the idle
+	// pseudo-step.
+	StepID = adl.StepID
+	// Routine is one user's personal step order for an activity.
+	Routine = adl.Routine
+	// RoutineSet holds a user's alternative routines for one activity.
+	RoutineSet = adl.RoutineSet
+
+	// Level is a reminding level (minimal or specific).
+	Level = core.Level
+	// Prompt is a planner action: the next tool and the reminding level.
+	Prompt = core.Prompt
+	// PlannerConfig tunes the TD(λ) Q-learning planner.
+	PlannerConfig = core.Config
+	// RewardConfig is the paper's 1000/100/50 reward function.
+	RewardConfig = core.RewardConfig
+	// Planner is the TD(λ) Q-learning planning subsystem.
+	Planner = core.Planner
+	// MultiPlanner keeps one planner per routine of a multi-routine user
+	// (the paper's future-work item 1).
+	MultiPlanner = core.MultiPlanner
+
+	// Reminder is a fully rendered reminder (text, picture, LEDs).
+	Reminder = reminding.Reminder
+	// Praise is the encouragement shown on correct progress.
+	Praise = reminding.Praise
+	// Trigger says why a reminder fired (idle or wrong tool).
+	Trigger = reminding.Trigger
+
+	// Persona is a simulated care recipient profile.
+	Persona = persona.Profile
+
+	// UsageEvent is a deduplicated tool-usage report from the gateway.
+	UsageEvent = sensornet.UsageEvent
+
+	// StepEvent is one entry of the extracted StepID stream.
+	StepEvent = sensing.StepEvent
+
+	// Scheduler is the deterministic virtual-time event scheduler the
+	// whole system runs on.
+	Scheduler = sim.Scheduler
+	// Timeline records an annotated session history (Figure 1 style).
+	Timeline = sim.Timeline
+)
+
+// SensorKind identifies a PAVENET sensor type.
+type SensorKind = adl.SensorKind
+
+// Sensor kinds available on a node (Table 1 of the paper).
+const (
+	SensorAccelerometer = adl.SensorAccelerometer
+	SensorPressure      = adl.SensorPressure
+	SensorBrightness    = adl.SensorBrightness
+	SensorTemperature   = adl.SensorTemperature
+	SensorMotion        = adl.SensorMotion
+)
+
+// Re-exported constants.
+const (
+	// StepIdle is the pseudo-step meaning "nothing done for a long time".
+	StepIdle = adl.StepIdle
+	// NoTool is the reserved zero ToolID.
+	NoTool = adl.NoTool
+	// Minimal is the short, low-intrusion reminding level.
+	Minimal = core.Minimal
+	// Specific is the long, personalized reminding level.
+	Specific = core.Specific
+	// TriggerIdle marks reminders fired by the idle timeout.
+	TriggerIdle = reminding.TriggerIdle
+	// TriggerWrongTool marks reminders fired by out-of-order tool use.
+	TriggerWrongTool = reminding.TriggerWrongTool
+	// UsageStarted marks a tool-usage start event.
+	UsageStarted = sensornet.UsageStarted
+	// UsageEnded marks a tool-usage end event.
+	UsageEnded = sensornet.UsageEnded
+)
+
+// Standard activity library (Table 2 of the paper plus generalization
+// examples).
+var (
+	// ToothBrushing returns the four-step tooth-brushing ADL.
+	ToothBrushing = adl.ToothBrushing
+	// TeaMaking returns the four-step tea-making ADL.
+	TeaMaking = adl.TeaMaking
+	// HandWashing returns a three-step hand-washing ADL.
+	HandWashing = adl.HandWashing
+	// Medication returns a two-step medication ADL.
+	Medication = adl.Medication
+	// Dressing returns the four-step dressing ADL (the paper's
+	// multi-routine example).
+	Dressing = adl.Dressing
+
+	// NewScheduler creates a fresh virtual-time scheduler.
+	NewScheduler = sim.New
+	// NewPersona derives a simulated user from a dementia severity.
+	NewPersona = persona.NewProfile
+	// RNG derives a deterministic random stream from a seed and name.
+	RNG = sim.RNG
+	// LoadActivityFile reads a JSON activity declaration (see
+	// internal/adl.ActivityFile for the schema).
+	LoadActivityFile = adl.LoadActivityFile
+	// NewPlanner creates a standalone planning subsystem.
+	NewPlanner = core.NewPlanner
+	// NewMultiPlanner creates a planner set over multiple routines.
+	NewMultiPlanner = core.NewMultiPlanner
+	// DiscoverRoutines clusters training episodes into distinct routines.
+	DiscoverRoutines = core.DiscoverRoutines
+)

@@ -1,0 +1,104 @@
+// Multiroutine demonstrates the paper's future-work item 1: "for some
+// ADLs, such as dressing, one user may have multiple routines to complete
+// it. Therefore, the multi-routine are necessary for even only one user."
+//
+// Mrs. Sato dresses in two orders depending on the day. A single
+// pair-state planner cannot represent both (the pair <shirt, trousers>
+// occurs in both routines with different successors); the multi-routine
+// planner discovers the two routines from her history, identifies which
+// one is active from the first steps of a session, and prompts correctly
+// for both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coreda"
+)
+
+func main() {
+	activity := coreda.Dressing()
+	c := activity.CanonicalRoutine() // shirt trousers socks shoes
+	weekday := c
+	sunday := coreda.Routine{c[2], c[0], c[1], c[3]} // socks first on Sundays
+
+	// Her recorded history: a mix of both routines.
+	rng := coreda.RNG(9, "history")
+	var history [][]coreda.StepID
+	for i := 0; i < 200; i++ {
+		if rng.Intn(7) == 0 {
+			history = append(history, sunday)
+		} else {
+			history = append(history, weekday)
+		}
+	}
+
+	// Step 1: discover the distinct routines in the history.
+	routines := coreda.DiscoverRoutines(history, 5)
+	fmt.Printf("discovered %d routines in %d recorded sessions:\n", len(routines), len(history))
+	for i, r := range routines {
+		fmt.Printf("  routine %d: %s\n", i+1, describe(activity, r))
+	}
+
+	// Step 2: train one planner per routine.
+	multi, err := coreda.NewMultiPlanner(activity, coreda.PlannerConfig{}, coreda.RNG(9, "multi"), routines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ep := range history {
+		if err := multi.TrainEpisode(ep); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A single planner for comparison.
+	single, err := coreda.NewPlanner(activity, coreda.PlannerConfig{}, coreda.RNG(9, "single"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ep := range history {
+		if err := single.TrainEpisode(ep); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	eval := [][]coreda.StepID{weekday, sunday}
+	fmt.Printf("\nprediction precision over both routines:\n")
+	fmt.Printf("  single planner: %.1f%%\n", single.Evaluate(eval)*100)
+	fmt.Printf("  multi-routine:  %.1f%%\n", multi.Evaluate(eval)*100)
+
+	// Step 3: online identification. After seeing her first two steps,
+	// the multi-planner knows which day it is.
+	fmt.Println("\nonline routine identification:")
+	for _, scenario := range []struct {
+		name     string
+		observed []coreda.StepID
+	}{
+		{"weekday (shirt first)", []coreda.StepID{weekday[0], weekday[1]}},
+		{"sunday (socks first)", []coreda.StepID{sunday[0], sunday[1]}},
+	} {
+		idx, matched := multi.Identify(scenario.observed)
+		prev, cur := scenario.observed[0], scenario.observed[1]
+		prompt, ok := multi.Predict(scenario.observed, prev, cur)
+		if !ok {
+			log.Fatalf("%s: no prediction", scenario.name)
+		}
+		tool, _ := activity.Tool(prompt.Tool)
+		fmt.Printf("  %-24s -> routine %d (matched %d steps), next prompt: %q\n",
+			scenario.name, idx+1, matched, tool.Name)
+	}
+}
+
+func describe(a *coreda.Activity, r coreda.Routine) string {
+	out := ""
+	for i, id := range r {
+		if s, ok := a.StepByID(id); ok {
+			if i > 0 {
+				out += " -> "
+			}
+			out += s.Name
+		}
+	}
+	return out
+}

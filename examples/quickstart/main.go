@@ -1,0 +1,52 @@
+// Quickstart: build a CoReDA system for tea-making, teach it a routine
+// from recorded step sequences, and ask it what to remind next.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"coreda"
+)
+
+func main() {
+	activity := coreda.TeaMaking()
+	sched := coreda.NewScheduler()
+
+	sys, err := coreda.NewSystem(coreda.SystemConfig{
+		Activity: activity,
+		UserName: "Mr. Tanaka",
+		Seed:     1,
+	}, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train from complete performances of the activity — the paper's
+	// unit of training data. Here Mr. Tanaka always makes tea in the
+	// canonical order.
+	routine := activity.CanonicalRoutine()
+	episodes := make([][]coreda.StepID, 120)
+	for i := range episodes {
+		episodes[i] = routine
+	}
+	if err := sys.TrainEpisodes(episodes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d tea-making sessions; routine precision %.0f%%\n\n",
+		len(episodes), sys.Planner().Evaluate([][]coreda.StepID{routine})*100)
+
+	// Ask the learned policy what to prompt at each point of the routine.
+	prev := coreda.StepIdle
+	for i := 0; i+1 < len(routine); i++ {
+		cur, _ := activity.StepByID(routine[i])
+		prompt, ok := sys.Planner().Predict(prev, routine[i])
+		if !ok {
+			fmt.Printf("after %q: no prediction\n", cur.Name)
+			continue
+		}
+		tool, _ := activity.Tool(prompt.Tool)
+		fmt.Printf("after %-30q remind: use the %s (%s reminder)\n", cur.Name, tool.Name, prompt.Level)
+		prev = routine[i]
+	}
+}

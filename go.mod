@@ -1,0 +1,3 @@
+module coreda
+
+go 1.22

@@ -1,0 +1,98 @@
+package coreda
+
+import (
+	"fmt"
+
+	"coreda/internal/adl"
+	"coreda/internal/sim"
+)
+
+// Hub routes the usage events of one gateway to several Systems — one per
+// instrumented activity — by the tool the event concerns. This is the
+// multi-ADL deployment the paper's generalization criterion implies: one
+// home, one radio network, many activities (tea in the kitchen, brushing
+// in the bathroom), each with its own learned routine.
+//
+// Like System, a Hub is single-threaded: drive it from one scheduler.
+type Hub struct {
+	sched   *sim.Scheduler
+	systems map[string]*System     // by activity name
+	byTool  map[adl.ToolID]*System // routing table
+	unknown func(UsageEvent)       // handler for unroutable events
+	// UnknownTools counts events for tools no activity claims.
+	UnknownTools int
+}
+
+// NewHub creates an empty hub on the scheduler.
+func NewHub(sched *sim.Scheduler) *Hub {
+	return &Hub{
+		sched:   sched,
+		systems: make(map[string]*System),
+		byTool:  make(map[adl.ToolID]*System),
+	}
+}
+
+// Add builds a System for the activity and registers its tools for
+// routing. Tool IDs must be unique across all added activities (the
+// paper's uid scheme guarantees this: one node, one uid, one tool).
+func (h *Hub) Add(cfg SystemConfig) (*System, error) {
+	if cfg.Activity == nil {
+		return nil, fmt.Errorf("coreda: Hub.Add requires an activity")
+	}
+	if _, dup := h.systems[cfg.Activity.Name]; dup {
+		return nil, fmt.Errorf("coreda: activity %q already added", cfg.Activity.Name)
+	}
+	for id := range cfg.Activity.Tools {
+		if other, taken := h.byTool[id]; taken {
+			return nil, fmt.Errorf("coreda: tool %d of %q already claimed by %q", id, cfg.Activity.Name, other.cfg.Activity.Name)
+		}
+	}
+	sys, err := NewSystem(cfg, h.sched)
+	if err != nil {
+		return nil, err
+	}
+	h.systems[cfg.Activity.Name] = sys
+	for id := range cfg.Activity.Tools {
+		h.byTool[id] = sys
+	}
+	return sys, nil
+}
+
+// System returns the system serving the named activity.
+func (h *Hub) System(activity string) (*System, bool) {
+	s, ok := h.systems[activity]
+	return s, ok
+}
+
+// Systems returns every registered system keyed by activity name.
+func (h *Hub) Systems() map[string]*System {
+	out := make(map[string]*System, len(h.systems))
+	for k, v := range h.systems {
+		out[k] = v
+	}
+	return out
+}
+
+// SetUnknownHandler installs a callback for events whose tool no activity
+// claims (e.g. a node joins before its activity is configured).
+func (h *Hub) SetUnknownHandler(fn func(UsageEvent)) { h.unknown = fn }
+
+// HandleUsage routes one gateway event to the owning activity's system.
+// Wire it as the sensornet.Gateway handler (or the rtbridge equivalent).
+func (h *Hub) HandleUsage(e UsageEvent) {
+	sys, ok := h.byTool[e.Tool]
+	if !ok {
+		h.UnknownTools++
+		if h.unknown != nil {
+			h.unknown(e)
+		}
+		return
+	}
+	// A usage event for an inactive system auto-starts a session in the
+	// activity's configured default mode, so a user who simply walks up
+	// to the tea tools is covered without explicit session management.
+	if !sys.Active() && e.Kind == UsageStarted {
+		sys.StartSession(sys.DefaultMode())
+	}
+	sys.HandleUsage(e)
+}

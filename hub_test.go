@@ -1,0 +1,133 @@
+package coreda
+
+import (
+	"testing"
+	"time"
+
+	"coreda/internal/adl"
+	"coreda/internal/sensornet"
+	"coreda/internal/sim"
+)
+
+func TestHubRoutesByTool(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	teaSys, err := hub.Add(SystemConfig{Activity: TeaMaking(), UserName: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brushSys, err := hub.Add(SystemConfig{Activity: ToothBrushing(), UserName: "u"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	use := func(tool ToolID) {
+		sched.RunUntil(sched.Now() + 3*time.Second)
+		hub.HandleUsage(UsageEvent{Tool: tool, Kind: sensornet.UsageStarted, At: sched.Now()})
+		sched.RunUntil(sched.Now() + time.Millisecond)
+	}
+
+	// Tea tools auto-start a tea session; brush tools a brushing session.
+	use(adl.ToolTeaBox)
+	if !teaSys.Active() {
+		t.Error("tea session not auto-started")
+	}
+	if brushSys.Active() {
+		t.Error("brushing session started by a tea tool")
+	}
+	use(adl.ToolBrush)
+	if !brushSys.Active() {
+		t.Error("brushing session not auto-started")
+	}
+
+	// Finish both; each system only sees its own steps.
+	use(adl.ToolPot)
+	use(adl.ToolKettle)
+	use(adl.ToolTeaCup)
+	if teaSys.Active() {
+		t.Error("tea session not completed after its four tools")
+	}
+	if got := teaSys.Stats().AcceptedSteps; got != 4 {
+		t.Errorf("tea accepted steps = %d", got)
+	}
+	if got := brushSys.Stats().AcceptedSteps; got != 1 {
+		t.Errorf("brush accepted steps = %d (cross-talk?)", got)
+	}
+}
+
+func TestHubUnknownTool(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	if _, err := hub.Add(SystemConfig{Activity: TeaMaking()}); err != nil {
+		t.Fatal(err)
+	}
+	var unknown []UsageEvent
+	hub.SetUnknownHandler(func(e UsageEvent) { unknown = append(unknown, e) })
+	hub.HandleUsage(UsageEvent{Tool: 99, Kind: sensornet.UsageStarted})
+	if hub.UnknownTools != 1 || len(unknown) != 1 {
+		t.Errorf("unknown = %d / %d", hub.UnknownTools, len(unknown))
+	}
+}
+
+func TestHubRejectsDuplicates(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	if _, err := hub.Add(SystemConfig{Activity: TeaMaking()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Add(SystemConfig{Activity: TeaMaking()}); err == nil {
+		t.Error("duplicate activity accepted")
+	}
+	// An activity whose tools collide with an existing one.
+	clash := TeaMaking()
+	clash.Name = "second-tea"
+	if _, err := hub.Add(SystemConfig{Activity: clash}); err == nil {
+		t.Error("tool collision accepted")
+	}
+	if _, err := hub.Add(SystemConfig{}); err == nil {
+		t.Error("nil activity accepted")
+	}
+}
+
+func TestHubAccessors(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	if _, err := hub.Add(SystemConfig{Activity: TeaMaking()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := hub.System("tea-making"); !ok {
+		t.Error("System lookup failed")
+	}
+	if _, ok := hub.System("nope"); ok {
+		t.Error("phantom system")
+	}
+	if len(hub.Systems()) != 1 {
+		t.Error("Systems() size")
+	}
+}
+
+func TestHubDefaultModeAssist(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	sys, err := hub.Add(SystemConfig{Activity: TeaMaking(), DefaultMode: ModeAssist})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.HandleUsage(UsageEvent{Tool: adl.ToolTeaBox, Kind: sensornet.UsageStarted, At: sched.Now()})
+	if sys.Mode() != ModeAssist {
+		t.Errorf("auto-started mode = %v, want assist", sys.Mode())
+	}
+}
+
+func TestHubEndEventDoesNotStartSession(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	sys, err := hub.Add(SystemConfig{Activity: TeaMaking()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.HandleUsage(UsageEvent{Tool: adl.ToolTeaBox, Kind: sensornet.UsageEnded, At: sched.Now(), Duration: time.Second})
+	if sys.Active() {
+		t.Error("end event auto-started a session")
+	}
+}

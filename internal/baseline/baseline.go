@@ -1,0 +1,185 @@
+// Package baseline implements the comparators the CoReDA paper positions
+// itself against (section 1.1):
+//
+//   - FixedPlan: a pre-planned canonical routine, as in prior guidance
+//     systems that are "based solely on pre-planned routines of ADLs,
+//     without considering different users' preferences";
+//   - MDPPlanner: a Boger et al.-style planner that solves a
+//     designer-specified MDP by value iteration instead of learning from
+//     the user;
+//   - Markov: a first-order transition-frequency predictor, the simplest
+//     learning alternative to TD(λ) Q-learning.
+package baseline
+
+import (
+	"math/rand"
+
+	"coreda/internal/adl"
+	"coreda/internal/rl"
+	"coreda/internal/stats"
+)
+
+// Predictor predicts the tool of the user's next step from the last two
+// observed steps. All baselines and (via an adapter) the CoReDA planner
+// satisfy it, so the comparison benches treat them uniformly.
+type Predictor interface {
+	// PredictNext returns the tool expected next, with ok false when no
+	// prediction is available.
+	PredictNext(prev, cur adl.StepID) (adl.ToolID, bool)
+}
+
+// Evaluate measures prediction precision of any Predictor over complete
+// validation episodes, using the same metric as the planner's Evaluate.
+func Evaluate(p Predictor, episodes [][]adl.StepID) float64 {
+	var c stats.Counter
+	for _, steps := range episodes {
+		prev := adl.StepIdle
+		for i := 0; i+1 < len(steps); i++ {
+			cur, next := steps[i], steps[i+1]
+			tool, ok := p.PredictNext(prev, cur)
+			c.Observe(ok && adl.StepOf(tool) == next)
+			prev = cur
+		}
+	}
+	return c.Rate()
+}
+
+// FixedPlan prompts the canonical next step of the activity regardless of
+// the user's personal routine.
+type FixedPlan struct {
+	routine adl.Routine
+}
+
+// NewFixedPlan creates the baseline from the activity's canonical order.
+func NewFixedPlan(a *adl.Activity) *FixedPlan {
+	return &FixedPlan{routine: a.CanonicalRoutine()}
+}
+
+// PredictNext implements Predictor: the step after cur in the canonical
+// plan (or the first step when the user is idle at the start).
+func (f *FixedPlan) PredictNext(_, cur adl.StepID) (adl.ToolID, bool) {
+	if cur == adl.StepIdle {
+		if len(f.routine) == 0 {
+			return adl.NoTool, false
+		}
+		return adl.ToolOf(f.routine[0]), true
+	}
+	i := f.routine.Index(cur)
+	if i < 0 || i+1 >= len(f.routine) {
+		return adl.NoTool, false
+	}
+	return adl.ToolOf(f.routine[i+1]), true
+}
+
+// Markov is a first-order transition-frequency model: it counts
+// next-step frequencies conditioned on the current step only.
+type Markov struct {
+	counts map[adl.StepID]map[adl.StepID]int
+}
+
+// NewMarkov returns an empty model.
+func NewMarkov() *Markov {
+	return &Markov{counts: make(map[adl.StepID]map[adl.StepID]int)}
+}
+
+// Train counts the transitions of one complete episode.
+func (m *Markov) Train(steps []adl.StepID) {
+	for i := 0; i+1 < len(steps); i++ {
+		cur, next := steps[i], steps[i+1]
+		row, ok := m.counts[cur]
+		if !ok {
+			row = make(map[adl.StepID]int)
+			m.counts[cur] = row
+		}
+		row[next]++
+	}
+}
+
+// PredictNext implements Predictor: the most frequent successor of cur.
+// Ties break toward the lower StepID for determinism.
+func (m *Markov) PredictNext(_, cur adl.StepID) (adl.ToolID, bool) {
+	row, ok := m.counts[cur]
+	if !ok || len(row) == 0 {
+		return adl.NoTool, false
+	}
+	var best adl.StepID
+	bestN := -1
+	for next, n := range row {
+		if n > bestN || (n == bestN && next < best) {
+			best, bestN = next, n
+		}
+	}
+	return adl.ToolOf(best), true
+}
+
+// MDPPlanner is a Boger-style planner: the designer supplies the task
+// structure (the canonical step order and a compliance probability) and
+// the planner solves the resulting MDP by value iteration. It never
+// observes the actual user.
+type MDPPlanner struct {
+	routine adl.Routine
+	policy  *rl.QTable
+}
+
+// NewMDPPlanner builds and solves the progress MDP. State i means "the
+// first i canonical steps are done"; prompting the correct next tool
+// advances with probability comply, anything else stalls. Completion pays
+// 1000, every elapsed decision costs 1.
+func NewMDPPlanner(a *adl.Activity, comply, gamma float64) *MDPPlanner {
+	routine := a.CanonicalRoutine()
+	n := len(routine)
+	m := rl.NewMDP(n+1, n)
+	for pos := 0; pos < n; pos++ {
+		for tool := 0; tool < n; tool++ {
+			if routine[pos] == routine[tool] {
+				reward := -1.0
+				if pos == n-1 {
+					reward = 1000
+				}
+				m.AddTransition(rl.State(pos), rl.Action(tool), rl.State(pos+1), comply, reward)
+				if comply < 1 {
+					m.AddTransition(rl.State(pos), rl.Action(tool), rl.State(pos), 1-comply, -1)
+				}
+			} else {
+				m.AddTransition(rl.State(pos), rl.Action(tool), rl.State(pos), 1, -1)
+			}
+		}
+	}
+	m.SetTerminal(rl.State(n))
+	return &MDPPlanner{routine: routine, policy: m.ValueIteration(gamma, 1e-9, 0)}
+}
+
+// PredictNext implements Predictor by mapping the observed current step
+// to a progress state and reading the solved policy.
+func (p *MDPPlanner) PredictNext(_, cur adl.StepID) (adl.ToolID, bool) {
+	pos := 0
+	if cur != adl.StepIdle {
+		i := p.routine.Index(cur)
+		if i < 0 {
+			return adl.NoTool, false
+		}
+		pos = i + 1
+	}
+	if pos >= len(p.routine) {
+		return adl.NoTool, false
+	}
+	a, _ := p.policy.Best(rl.State(pos))
+	return adl.ToolOf(p.routine[int(a)]), true
+}
+
+// RandomGuess predicts a uniformly random tool of the activity; it anchors
+// the precision scale in the comparison benches.
+type RandomGuess struct {
+	steps []adl.StepID
+	rng   *rand.Rand
+}
+
+// NewRandomGuess creates the chance baseline.
+func NewRandomGuess(a *adl.Activity, rng *rand.Rand) *RandomGuess {
+	return &RandomGuess{steps: a.StepIDs(), rng: rng}
+}
+
+// PredictNext implements Predictor.
+func (r *RandomGuess) PredictNext(_, _ adl.StepID) (adl.ToolID, bool) {
+	return adl.ToolOf(r.steps[r.rng.Intn(len(r.steps))]), true
+}

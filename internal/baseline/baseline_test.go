@@ -1,0 +1,141 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"coreda/internal/adl"
+)
+
+func TestFixedPlanFollowsCanonicalOrder(t *testing.T) {
+	a := adl.TeaMaking()
+	f := NewFixedPlan(a)
+	r := a.CanonicalRoutine()
+
+	if tool, ok := f.PredictNext(adl.StepIdle, adl.StepIdle); !ok || adl.StepOf(tool) != r[0] {
+		t.Errorf("idle prediction = %d, %v", tool, ok)
+	}
+	for i := 0; i+1 < len(r); i++ {
+		tool, ok := f.PredictNext(adl.StepIdle, r[i])
+		if !ok || adl.StepOf(tool) != r[i+1] {
+			t.Errorf("after %d: predicted %d, want %d", r[i], tool, r[i+1])
+		}
+	}
+	if _, ok := f.PredictNext(adl.StepIdle, r[len(r)-1]); ok {
+		t.Error("prediction after terminal step")
+	}
+	if _, ok := f.PredictNext(adl.StepIdle, adl.StepOf(adl.ToolBrush)); ok {
+		t.Error("prediction for foreign step")
+	}
+}
+
+func TestFixedPlanPerfectOnCanonicalUser(t *testing.T) {
+	a := adl.TeaMaking()
+	f := NewFixedPlan(a)
+	eval := [][]adl.StepID{a.StepIDs()}
+	if got := Evaluate(f, eval); got != 1 {
+		t.Errorf("canonical precision = %v", got)
+	}
+}
+
+func TestFixedPlanFailsOnPersonalizedRoutine(t *testing.T) {
+	// The paper's core criticism of pre-planned systems: a user whose
+	// personal order differs gets wrong prompts.
+	a := adl.TeaMaking()
+	f := NewFixedPlan(a)
+	r := a.CanonicalRoutine()
+	personal := adl.Routine{r[1], r[0], r[2], r[3]}
+	got := Evaluate(f, [][]adl.StepID{personal})
+	if got > 0.5 {
+		t.Errorf("fixed plan precision on reordered routine = %v, want low", got)
+	}
+}
+
+func TestMarkovLearnsPersonalRoutine(t *testing.T) {
+	a := adl.TeaMaking()
+	r := a.CanonicalRoutine()
+	personal := adl.Routine{r[1], r[0], r[2], r[3]}
+	m := NewMarkov()
+	for i := 0; i < 20; i++ {
+		m.Train(personal)
+	}
+	if got := Evaluate(m, [][]adl.StepID{personal}); got != 1 {
+		t.Errorf("markov precision = %v", got)
+	}
+}
+
+func TestMarkovUntrainedAndTies(t *testing.T) {
+	m := NewMarkov()
+	if _, ok := m.PredictNext(0, 21); ok {
+		t.Error("untrained markov predicted")
+	}
+	// Tie between successors 22 and 23 -> picks lower ID.
+	m.Train([]adl.StepID{21, 22})
+	m.Train([]adl.StepID{21, 23})
+	tool, ok := m.PredictNext(0, 21)
+	if !ok || tool != 22 {
+		t.Errorf("tie prediction = %d, %v; want 22", tool, ok)
+	}
+}
+
+func TestMarkovConfusedByMixedRoutines(t *testing.T) {
+	// First-order frequencies cannot represent two routines that share a
+	// state with different successors; precision must drop below 1.
+	a := adl.Dressing()
+	r1 := a.CanonicalRoutine()
+	r2 := adl.Routine{r1[0], r1[2], r1[1], r1[3]}
+	m := NewMarkov()
+	for i := 0; i < 10; i++ {
+		m.Train(r1)
+		m.Train(r2)
+	}
+	got := Evaluate(m, [][]adl.StepID{r1, r2})
+	if got >= 1 {
+		t.Errorf("markov precision on mixed routines = %v, want < 1", got)
+	}
+}
+
+func TestMDPPlannerPromptsCanonicalSteps(t *testing.T) {
+	a := adl.TeaMaking()
+	p := NewMDPPlanner(a, 0.9, 0.95)
+	r := a.CanonicalRoutine()
+	if tool, ok := p.PredictNext(adl.StepIdle, adl.StepIdle); !ok || adl.StepOf(tool) != r[0] {
+		t.Errorf("initial prompt = %d, %v", tool, ok)
+	}
+	for i := 0; i+1 < len(r); i++ {
+		tool, ok := p.PredictNext(adl.StepIdle, r[i])
+		if !ok || adl.StepOf(tool) != r[i+1] {
+			t.Errorf("after step %d: prompt = %d, want %d", i, tool, r[i+1])
+		}
+	}
+	if _, ok := p.PredictNext(adl.StepIdle, r[len(r)-1]); ok {
+		t.Error("prompt after completion")
+	}
+	if _, ok := p.PredictNext(adl.StepIdle, adl.StepOf(adl.ToolBrush)); ok {
+		t.Error("prompt for foreign step")
+	}
+}
+
+func TestMDPPlannerLikeFixedPlanIsNotPersonalized(t *testing.T) {
+	a := adl.TeaMaking()
+	p := NewMDPPlanner(a, 0.9, 0.95)
+	r := a.CanonicalRoutine()
+	personal := adl.Routine{r[2], r[1], r[0], r[3]}
+	if got := Evaluate(p, [][]adl.StepID{personal}); got > 0.5 {
+		t.Errorf("MDP planner precision on personalized routine = %v, want low", got)
+	}
+}
+
+func TestRandomGuessIsNearChance(t *testing.T) {
+	a := adl.TeaMaking()
+	g := NewRandomGuess(a, rand.New(rand.NewSource(1)))
+	var eval [][]adl.StepID
+	for i := 0; i < 200; i++ {
+		eval = append(eval, a.StepIDs())
+	}
+	got := Evaluate(g, eval)
+	// Chance is 1/4 with 4 tools.
+	if got < 0.15 || got > 0.35 {
+		t.Errorf("random precision = %v, want ~0.25", got)
+	}
+}

@@ -1,0 +1,357 @@
+package experiments
+
+import (
+	"fmt"
+
+	"coreda/internal/adl"
+	"coreda/internal/baseline"
+	"coreda/internal/core"
+	"coreda/internal/persona"
+	"coreda/internal/rl"
+	"coreda/internal/sim"
+	"coreda/internal/stats"
+)
+
+// AblationRow is one arm of an ablation: a named configuration and the
+// iterations its greedy policy needed to reach full routine precision
+// (averaged over seeds; cap+1 when an arm never converged).
+type AblationRow struct {
+	Name     string
+	MeanIter float64
+	// Extra carries an arm-specific metric (e.g. fraction of minimal
+	// prompts for the reward ablation).
+	Extra float64
+}
+
+// ablationSeeds is how many seeds each arm is averaged over.
+const ablationSeeds = 30
+
+// ablationCap bounds the episodes per arm.
+const ablationCap = 300
+
+// iterationsToPerfect trains on clean episodes for the full cap and
+// returns the iteration from which the greedy policy predicts the whole
+// routine and never regresses (cap+1 if it never converges). The
+// stay-converged criterion avoids crediting transient lucky orderings.
+func iterationsToPerfect(a *adl.Activity, cfg core.Config, seed int64, stream string) (int, error) {
+	p, err := core.NewPlanner(a, cfg, sim.RNG(seed, stream))
+	if err != nil {
+		return 0, err
+	}
+	routine := a.CanonicalRoutine()
+	eval := [][]adl.StepID{routine}
+	curve := &stats.Curve{}
+	for i := 1; i <= ablationCap; i++ {
+		if err := p.TrainEpisode(routine); err != nil {
+			return 0, err
+		}
+		curve.Append(i, p.Evaluate(eval))
+	}
+	if it, ok := curve.ConvergedAt(1); ok {
+		return it, nil
+	}
+	return ablationCap + 1, nil
+}
+
+func meanIterations(a *adl.Activity, cfg core.Config, stream string) (float64, error) {
+	sum := 0
+	for seed := int64(0); seed < ablationSeeds; seed++ {
+		it, err := iterationsToPerfect(a, cfg, seed, stream)
+		if err != nil {
+			return 0, err
+		}
+		sum += it
+	}
+	return float64(sum) / ablationSeeds, nil
+}
+
+// RunLambdaAblation sweeps the eligibility-trace decay λ with the
+// counterfactual sweep disabled (plain TD(λ), where λ is load-bearing).
+func RunLambdaAblation() ([]AblationRow, error) {
+	activity := adl.TeaMaking()
+	var rows []AblationRow
+	for _, lambda := range []float64{0, 0.3, 0.6, 0.9} {
+		cfg := core.Config{
+			NoCounterfactual: true,
+			RL:               rl.Config{Alpha: 0.8, Gamma: 0.5, Lambda: lambda, Traces: rl.ReplacingTraces},
+		}
+		mean, err := meanIterations(activity, cfg, fmt.Sprintf("ablation/lambda/%v", lambda))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: fmt.Sprintf("lambda=%.1f", lambda), MeanIter: mean})
+	}
+	return rows, nil
+}
+
+// RunFastLearningAblation compares the learning accelerators: plain
+// TD(λ), TD(λ)+replay, the counterfactual sweep, and both — quantifying
+// the paper's "fast learning" future-work item.
+func RunFastLearningAblation() ([]AblationRow, error) {
+	activity := adl.TeaMaking()
+	arms := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"plain TD(lambda)", core.Config{NoCounterfactual: true}},
+		{"+replay", core.Config{NoCounterfactual: true, ReplaySize: 256, ReplayPerEpisode: 64}},
+		{"+counterfactual", core.Config{}},
+		{"+both", core.Config{ReplaySize: 256, ReplayPerEpisode: 64}},
+	}
+	var rows []AblationRow
+	for _, arm := range arms {
+		mean, err := meanIterations(activity, arm.cfg, "ablation/fast/"+arm.name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{Name: arm.name, MeanIter: mean})
+	}
+	return rows, nil
+}
+
+// RunRewardAblation varies the minimal:specific reward ratio and reports
+// the fraction of intermediate prompts the converged greedy policy issues
+// at the minimal level. The paper's 100:50 ratio is what encodes the
+// "minimal prompt" design criterion.
+func RunRewardAblation() ([]AblationRow, error) {
+	activity := adl.TeaMaking()
+	routine := activity.CanonicalRoutine()
+	arms := []struct {
+		name    string
+		rewards core.RewardConfig
+	}{
+		{"paper 100:50", core.RewardConfig{Terminal: 1000, Minimal: 100, Specific: 50}},
+		{"equal 100:100", core.RewardConfig{Terminal: 1000, Minimal: 100, Specific: 100}},
+		{"inverted 50:100", core.RewardConfig{Terminal: 1000, Minimal: 50, Specific: 100}},
+	}
+	var rows []AblationRow
+	for _, arm := range arms {
+		minimal := stats.Counter{}
+		for seed := int64(0); seed < ablationSeeds; seed++ {
+			p, err := core.NewPlanner(activity, core.Config{Rewards: arm.rewards}, sim.RNG(seed, "ablation/reward/"+arm.name))
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < 150; i++ {
+				if err := p.TrainEpisode(routine); err != nil {
+					return nil, err
+				}
+			}
+			// Count the level of intermediate greedy prompts (the
+			// terminal prompt's reward is level-independent).
+			prev := adl.StepIdle
+			for i := 0; i+2 < len(routine); i++ {
+				prompt, ok := p.Predict(prev, routine[i])
+				if ok {
+					minimal.Observe(prompt.Level == core.Minimal)
+				}
+				prev = routine[i]
+			}
+		}
+		rows = append(rows, AblationRow{Name: arm.name, Extra: minimal.Rate()})
+	}
+	return rows, nil
+}
+
+// ComparisonRow is one predictor in the baseline comparison.
+type ComparisonRow struct {
+	Name string
+	// Personalized is the prediction precision on a user whose routine
+	// reorders the canonical plan.
+	Personalized float64
+	// MultiRoutine is the precision on a user alternating between two
+	// routines of the dressing ADL.
+	MultiRoutine float64
+}
+
+// plannerPredictor adapts the CoReDA planner to baseline.Predictor.
+type plannerPredictor struct{ p *core.Planner }
+
+func (pp plannerPredictor) PredictNext(prev, cur adl.StepID) (adl.ToolID, bool) {
+	prompt, ok := pp.p.Predict(prev, cur)
+	return prompt.Tool, ok
+}
+
+// RunBaselineComparison pits CoReDA against the related-work baselines on
+// the two situations the paper's introduction motivates: personalized
+// routines (prior pre-planned systems fail) and multi-routine users (the
+// paper's future-work item).
+func RunBaselineComparison(seed int64) ([]ComparisonRow, error) {
+	// Personalized user: tea-making in a non-canonical order.
+	tea := adl.TeaMaking()
+	r := tea.CanonicalRoutine()
+	personal := adl.Routine{r[1], r[0], r[2], r[3]}
+	personalTrain := make([][]adl.StepID, 120)
+	for i := range personalTrain {
+		personalTrain[i] = personal
+	}
+	personalEval := [][]adl.StepID{personal}
+
+	// Multi-routine user: dressing with two alternating orders that
+	// collide in pair-state space.
+	dress := adl.Dressing()
+	d1 := dress.CanonicalRoutine()
+	d2 := adl.Routine{d1[2], d1[0], d1[1], d1[3]}
+	rng := sim.RNG(seed, "comparison/mix")
+	var mixTrain [][]adl.StepID
+	for i := 0; i < 200; i++ {
+		if rng.Intn(2) == 0 {
+			mixTrain = append(mixTrain, d1)
+		} else {
+			mixTrain = append(mixTrain, d2)
+		}
+	}
+	mixEval := [][]adl.StepID{d1, d2}
+
+	// CoReDA (single planner).
+	teaPlanner, err := core.NewPlanner(tea, core.Config{}, sim.RNG(seed, "comparison/coreda-tea"))
+	if err != nil {
+		return nil, err
+	}
+	for _, ep := range personalTrain {
+		if err := teaPlanner.TrainEpisode(ep); err != nil {
+			return nil, err
+		}
+	}
+	dressPlanner, err := core.NewPlanner(dress, core.Config{}, sim.RNG(seed, "comparison/coreda-dress"))
+	if err != nil {
+		return nil, err
+	}
+	for _, ep := range mixTrain {
+		if err := dressPlanner.TrainEpisode(ep); err != nil {
+			return nil, err
+		}
+	}
+
+	// CoReDA multi-routine extension.
+	multi, err := core.NewMultiPlanner(dress, core.Config{}, sim.RNG(seed, "comparison/multi"), []adl.Routine{d1, d2})
+	if err != nil {
+		return nil, err
+	}
+	for _, ep := range mixTrain {
+		if err := multi.TrainEpisode(ep); err != nil {
+			return nil, err
+		}
+	}
+
+	// Markov baselines.
+	teaMarkov := baseline.NewMarkov()
+	for _, ep := range personalTrain {
+		teaMarkov.Train(ep)
+	}
+	dressMarkov := baseline.NewMarkov()
+	for _, ep := range mixTrain {
+		dressMarkov.Train(ep)
+	}
+
+	rows := []ComparisonRow{
+		{
+			Name:         "CoReDA TD(lambda) Q-learning",
+			Personalized: baseline.Evaluate(plannerPredictor{teaPlanner}, personalEval),
+			MultiRoutine: baseline.Evaluate(plannerPredictor{dressPlanner}, mixEval),
+		},
+		{
+			Name:         "CoReDA multi-routine extension",
+			Personalized: baseline.Evaluate(plannerPredictor{teaPlanner}, personalEval),
+			MultiRoutine: multi.Evaluate(mixEval),
+		},
+		{
+			Name:         "First-order Markov",
+			Personalized: baseline.Evaluate(teaMarkov, personalEval),
+			MultiRoutine: baseline.Evaluate(dressMarkov, mixEval),
+		},
+		{
+			Name:         "Fixed pre-planned routine",
+			Personalized: baseline.Evaluate(baseline.NewFixedPlan(tea), personalEval),
+			MultiRoutine: baseline.Evaluate(baseline.NewFixedPlan(dress), mixEval),
+		},
+		{
+			Name:         "MDP value-iteration planner",
+			Personalized: baseline.Evaluate(baseline.NewMDPPlanner(tea, 0.9, 0.95), personalEval),
+			MultiRoutine: baseline.Evaluate(baseline.NewMDPPlanner(dress, 0.9, 0.95), mixEval),
+		},
+		{
+			Name:         "Random guess",
+			Personalized: baseline.Evaluate(baseline.NewRandomGuess(tea, sim.RNG(seed, "comparison/rand-tea")), repeat(personalEval, 50)),
+			MultiRoutine: baseline.Evaluate(baseline.NewRandomGuess(dress, sim.RNG(seed, "comparison/rand-dress")), repeat(mixEval, 50)),
+		},
+	}
+	return rows, nil
+}
+
+func repeat(eval [][]adl.StepID, times int) [][]adl.StepID {
+	out := make([][]adl.StepID, 0, len(eval)*times)
+	for i := 0; i < times; i++ {
+		out = append(out, eval...)
+	}
+	return out
+}
+
+// RunLevelAdaptation runs the closed-loop level experiment: two users with
+// different compliance profiles keep learning during assist sessions; the
+// converged policies should prefer minimal prompts for the user who
+// responds to them and escalate for the user who does not. It returns the
+// fraction of minimal-level greedy prompts per user.
+func RunLevelAdaptation(seed int64) (compliant, noncompliant float64, err error) {
+	measure := func(complyMinimal float64, stream string) (float64, error) {
+		activity := adl.TeaMaking()
+		routine := activity.CanonicalRoutine()
+		// A raised exploration floor keeps level exploration alive, so a
+		// locked-in level choice can always be revisited as the user's
+		// responsiveness evolves.
+		p, err := core.NewPlanner(activity, core.Config{EpsilonMin: 0.1}, sim.RNG(seed, stream))
+		if err != nil {
+			return 0, err
+		}
+		sess := core.NewOnlineSession(p, true)
+		rng := sim.RNG(seed, stream+"/user")
+		user := persona.NewProfile("subject", 0.5)
+		user.ComplyMinimal = complyMinimal
+		user.ComplySpecific = 0.97
+
+		const episodes, window = 400, 100
+		delivered := stats.Counter{}
+		for ep := 0; ep < episodes; ep++ {
+			sess.Reset()
+			for i, step := range routine {
+				// From the second step on the user freezes and must be
+				// prompted. A prompt the user ignores is recorded as
+				// failed (negative evidence) and the system escalates to
+				// a specific reminder until one lands.
+				if i > 0 {
+					if prompt, ok := sess.DeliverablePrompt(); ok {
+						if ep >= episodes-window && i+1 < len(routine) {
+							delivered.Observe(prompt.Level == core.Minimal)
+						}
+						for try := 0; try < 5; try++ {
+							sess.NotePrompt(prompt)
+							if user.Complies(prompt.Level == core.Specific, rng) {
+								break
+							}
+							sess.NoteFailedPrompt(prompt)
+							prompt.Level = core.Specific // escalation
+						}
+					}
+				}
+				sess.Observe(step)
+			}
+			sess.Complete()
+		}
+		return delivered.Rate(), nil
+	}
+
+	const levelSeeds = 5
+	for s := int64(0); s < levelSeeds; s++ {
+		c, err := measure(0.95, fmt.Sprintf("ablation/level/compliant/%d", seed+s))
+		if err != nil {
+			return 0, 0, err
+		}
+		n, err := measure(0.05, fmt.Sprintf("ablation/level/noncompliant/%d", seed+s))
+		if err != nil {
+			return 0, 0, err
+		}
+		compliant += c / levelSeeds
+		noncompliant += n / levelSeeds
+	}
+	return compliant, noncompliant, nil
+}

@@ -1,0 +1,270 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"coreda/internal/adl"
+	"coreda/internal/core"
+	"coreda/internal/rl"
+	"coreda/internal/sim"
+)
+
+// routineEnv casts routine learning as a generic rl.Env so alternative
+// algorithms (SARSA(λ), Expected SARSA, Double Q) can be compared against
+// the paper's Watkins Q(λ) on exactly the planning subsystem's task.
+//
+// States and actions use the same encoding as the planner: the paper's
+// <prev, cur> pairs and <tool, level> prompts; the episode walks the
+// user's routine regardless of the action (prompts do not change what a
+// routine-following user does during training) and pays the paper's
+// rewards.
+type routineEnv struct {
+	activity *adl.Activity
+	routine  adl.Routine
+	rewards  core.RewardConfig
+	pos      int
+	// encoded state/action spaces (idle + steps, tools x levels).
+	steps int
+}
+
+func newRoutineEnv(a *adl.Activity) *routineEnv {
+	return &routineEnv{
+		activity: a,
+		routine:  a.CanonicalRoutine(),
+		rewards:  core.DefaultRewards(),
+		steps:    a.StepCount(),
+	}
+}
+
+func (e *routineEnv) NumStates() int  { n := e.steps + 1; return n * n }
+func (e *routineEnv) NumActions() int { return e.steps * 2 }
+
+// stepIndex is 0 for idle, 1..N for routine-canonical steps.
+func (e *routineEnv) stepIndex(s adl.StepID) int {
+	for i, id := range e.activity.StepIDs() {
+		if id == s {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func (e *routineEnv) state(prev, cur adl.StepID) rl.State {
+	n := e.steps + 1
+	return rl.State(e.stepIndex(prev)*n + e.stepIndex(cur))
+}
+
+func (e *routineEnv) Reset(_ *rand.Rand) rl.State {
+	e.pos = 0
+	return e.state(adl.StepIdle, e.routine[0])
+}
+
+func (e *routineEnv) Step(a rl.Action, _ *rand.Rand) (rl.State, float64, bool) {
+	canonical := e.activity.StepIDs()
+	prompt := core.Prompt{Tool: adl.ToolOf(canonical[int(a)/2]), Level: core.Minimal}
+	if int(a)%2 == 1 {
+		prompt.Level = core.Specific
+	}
+	next := e.routine[e.pos+1]
+	terminal := e.pos+2 >= len(e.routine)
+	r := e.rewards.Of(prompt, next, terminal)
+	cur := e.routine[e.pos]
+	e.pos++
+	return e.state(cur, next), r, terminal
+}
+
+// evalGreedy measures next-step precision of a greedy reading of a value
+// function over the routine (the same metric as Planner.Evaluate).
+func (e *routineEnv) evalGreedy(best func(rl.State) rl.Action) float64 {
+	canonical := e.activity.StepIDs()
+	hits := 0
+	prev := adl.StepIdle
+	for i := 0; i+1 < len(e.routine); i++ {
+		a := best(e.state(prev, e.routine[i]))
+		if canonical[int(a)/2] == e.routine[i+1] {
+			hits++
+		}
+		prev = e.routine[i]
+	}
+	return float64(hits) / float64(len(e.routine)-1)
+}
+
+// AlgorithmRow is one algorithm's result on the routine-learning task.
+type AlgorithmRow struct {
+	Name string
+	// MeanIter is the mean episodes until the greedy policy predicts the
+	// whole routine and never regresses (cap+1 if never), averaged over
+	// seeds.
+	MeanIter float64
+}
+
+// RunAlgorithmComparison trains Watkins Q(λ), SARSA(λ), Expected SARSA
+// and Double Q on the routine-learning task with identical ε schedules
+// and no counterfactual help, and reports episodes to a lastingly-perfect
+// greedy policy.
+func RunAlgorithmComparison() ([]AlgorithmRow, error) {
+	activity := adl.TeaMaking()
+	cfg := rl.Config{Alpha: 0.8, Gamma: 0.5, Lambda: 0.7, Traces: rl.ReplacingTraces}
+
+	type arm struct {
+		name string
+		run  func(seed int64) (int, error)
+	}
+	iterOf := func(precisions []float64) int {
+		last := -1
+		for i := len(precisions) - 1; i >= 0; i-- {
+			if precisions[i] < 1 {
+				last = i
+				break
+			}
+		}
+		switch {
+		case last == len(precisions)-1:
+			return ablationCap + 1
+		default:
+			return last + 2 // 1-based iteration after the last imperfect one
+		}
+	}
+
+	arms := []arm{
+		{"Watkins Q(lambda)", func(seed int64) (int, error) {
+			env := newRoutineEnv(activity)
+			table := rl.NewQTable(env.NumStates(), env.NumActions(), 0)
+			learner, err := rl.NewQLambda(cfg, table)
+			if err != nil {
+				return 0, err
+			}
+			policy := &rl.EpsilonGreedy{Epsilon: 1, DecayRate: 0.95, Min: 0.01}
+			rng := sim.RNG(seed, "algo/q")
+			var precisions []float64
+			for ep := 0; ep < ablationCap; ep++ {
+				learner.StartEpisode()
+				s := env.Reset(rng)
+				for {
+					a := policy.Select(table, s, rng)
+					greedyA, _ := table.Best(s)
+					next, r, done := env.Step(a, rng)
+					learner.Observe(s, a, r, next, done, a == greedyA)
+					s = next
+					if done {
+						break
+					}
+				}
+				policy.Decay()
+				precisions = append(precisions, env.evalGreedy(func(st rl.State) rl.Action { a, _ := table.Best(st); return a }))
+			}
+			return iterOf(precisions), nil
+		}},
+		{"SARSA(lambda)", func(seed int64) (int, error) {
+			env := newRoutineEnv(activity)
+			table := rl.NewQTable(env.NumStates(), env.NumActions(), 0)
+			learner, err := rl.NewSARSALambda(cfg, table)
+			if err != nil {
+				return 0, err
+			}
+			policy := &rl.EpsilonGreedy{Epsilon: 1, DecayRate: 0.95, Min: 0.01}
+			rng := sim.RNG(seed, "algo/sarsa")
+			var precisions []float64
+			for ep := 0; ep < ablationCap; ep++ {
+				learner.StartEpisode()
+				s := env.Reset(rng)
+				a := policy.Select(table, s, rng)
+				for {
+					next, r, done := env.Step(a, rng)
+					nextA := policy.Select(table, next, rng)
+					learner.Observe(s, a, r, next, nextA, done)
+					s, a = next, nextA
+					if done {
+						break
+					}
+				}
+				policy.Decay()
+				precisions = append(precisions, env.evalGreedy(func(st rl.State) rl.Action { a, _ := table.Best(st); return a }))
+			}
+			return iterOf(precisions), nil
+		}},
+		{"Expected SARSA", func(seed int64) (int, error) {
+			env := newRoutineEnv(activity)
+			table := rl.NewQTable(env.NumStates(), env.NumActions(), 0)
+			learner, err := rl.NewExpectedSARSA(cfg, table, 1)
+			if err != nil {
+				return 0, err
+			}
+			policy := &rl.EpsilonGreedy{Epsilon: 1, DecayRate: 0.95, Min: 0.01}
+			rng := sim.RNG(seed, "algo/esarsa")
+			var precisions []float64
+			for ep := 0; ep < ablationCap; ep++ {
+				learner.StartEpisode()
+				learner.Epsilon = policy.Epsilon
+				s := env.Reset(rng)
+				for {
+					a := policy.Select(table, s, rng)
+					next, r, done := env.Step(a, rng)
+					learner.Observe(s, a, r, next, done)
+					s = next
+					if done {
+						break
+					}
+				}
+				policy.Decay()
+				precisions = append(precisions, env.evalGreedy(func(st rl.State) rl.Action { a, _ := table.Best(st); return a }))
+			}
+			return iterOf(precisions), nil
+		}},
+		{"Double Q", func(seed int64) (int, error) {
+			env := newRoutineEnv(activity)
+			rng := sim.RNG(seed, "algo/doubleq")
+			learner, err := rl.NewDoubleQ(rl.Config{Alpha: cfg.Alpha, Gamma: cfg.Gamma}, env.NumStates(), env.NumActions(), rng)
+			if err != nil {
+				return 0, err
+			}
+			policy := &rl.EpsilonGreedy{Epsilon: 1, DecayRate: 0.95, Min: 0.01}
+			var precisions []float64
+			for ep := 0; ep < ablationCap; ep++ {
+				s := env.Reset(rng)
+				for {
+					a := policy.Select(learner.Combined(), s, rng)
+					next, r, done := env.Step(a, rng)
+					learner.Observe(s, a, r, next, done)
+					s = next
+					if done {
+						break
+					}
+				}
+				policy.Decay()
+				precisions = append(precisions, env.evalGreedy(func(st rl.State) rl.Action { a, _ := learner.Best(st); return a }))
+			}
+			return iterOf(precisions), nil
+		}},
+	}
+
+	var rows []AlgorithmRow
+	for _, arm := range arms {
+		sum := 0
+		for seed := int64(0); seed < ablationSeeds; seed++ {
+			it, err := arm.run(seed)
+			if err != nil {
+				return nil, err
+			}
+			sum += it
+		}
+		rows = append(rows, AlgorithmRow{Name: arm.name, MeanIter: float64(sum) / ablationSeeds})
+	}
+	return rows, nil
+}
+
+// RenderAlgorithms formats the algorithm comparison.
+func RenderAlgorithms(rows []AlgorithmRow) string {
+	var b strings.Builder
+	b.WriteString("Ablation: learning algorithm on the routine task (no counterfactual help)\n")
+	for _, r := range rows {
+		iter := fmt.Sprintf("%.1f", r.MeanIter)
+		if r.MeanIter > ablationCap {
+			iter = fmt.Sprintf(">%d", ablationCap)
+		}
+		fmt.Fprintf(&b, "  %-22s mean episodes to perfect policy: %s\n", r.Name, iter)
+	}
+	return b.String()
+}

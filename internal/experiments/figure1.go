@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+	"coreda/internal/sensing"
+	"coreda/internal/sensornet"
+	"coreda/internal/sim"
+)
+
+// RunFigure1 re-enacts the scenario of Figure 1 of the paper: Mr. Tanaka
+// makes tea; at 13 s he wrongly takes the tea-cup and is prompted to the
+// electronic pot (text + red LED on the cup + green LED on the pot +
+// picture); at 23 s he uses the pot correctly and is praised; after
+// pouring the tea he does nothing for 30 s and is prompted to drink; he
+// drinks and is praised. It returns the recorded timeline.
+func RunFigure1(seed int64) (*sim.Timeline, error) {
+	activity := adl.TeaMaking()
+	routine := activity.CanonicalRoutine()
+	sched := sim.New()
+	tl := &sim.Timeline{}
+
+	sys, err := coreda.NewSystem(coreda.SystemConfig{
+		Activity: activity,
+		UserName: "Mr. Tanaka",
+		Seed:     seed,
+		Sensing:  sensing.Config{IdleFloor: 30 * time.Second},
+		OnReminder: func(r coreda.Reminder) {
+			tl.Record(r.At, "reminding", "%q + picture %s + green LED on %s (x%d)",
+				r.Text, r.Picture, toolName(activity, r.Tool), r.GreenBlinks)
+			if r.RedBlinks > 0 {
+				tl.Record(r.At, "reminding", "red LED on %s (x%d)", toolName(activity, r.WrongTool), r.RedBlinks)
+			}
+		},
+		OnPraise: func(p coreda.Praise) {
+			tl.Record(p.At, "reminding", "%q", p.Text)
+		},
+		OnComplete: func() {
+			tl.Record(sched.Now(), "system", "tea-making completed")
+		},
+	}, sched)
+	if err != nil {
+		return nil, err
+	}
+
+	// Mr. Tanaka's routine was learned in earlier sessions.
+	episodes := make([][]adl.StepID, 120)
+	for i := range episodes {
+		episodes[i] = routine
+	}
+	if err := sys.TrainEpisodes(episodes); err != nil {
+		return nil, err
+	}
+
+	use := func(at time.Duration, tool adl.ToolID, what string) {
+		sched.RunUntil(at)
+		tl.Record(at, "user", "%s", what)
+		sys.HandleUsage(coreda.UsageEvent{Tool: tool, Kind: sensornet.UsageStarted, At: at})
+		sched.RunUntil(at + time.Millisecond)
+	}
+
+	sys.StartSession(coreda.ModeAssist)
+	// Step 1: takes tea-leaf from tea-box, puts them into kettle.
+	use(2*time.Second, adl.ToolTeaBox, "takes tea-leaf from tea-box (step 1)")
+	// At 13 s he incorrectly takes the tea-cup.
+	use(13*time.Second, adl.ToolTeaCup, "incorrectly takes the tea-cup")
+	// At 23 s he correctly uses the electronic pot -> praised.
+	use(23*time.Second, adl.ToolPot, "pours hot water from electronic-pot (step 2)")
+	// Step 3: pours tea into the tea-cup.
+	use(41*time.Second, adl.ToolKettle, "pours tea into tea-cup (step 3)")
+	// He forgets to drink and does nothing for 30 s -> idle prompt ~71 s.
+	sched.RunUntil(75 * time.Second)
+	// He drinks the tea -> praise, activity complete.
+	use(78*time.Second, adl.ToolTeaCup, "drinks a cup of tea (step 4)")
+	sched.RunUntil(80 * time.Second)
+	return tl, nil
+}
+
+func toolName(a *adl.Activity, id adl.ToolID) string {
+	if t, ok := a.Tool(id); ok {
+		return t.Name
+	}
+	return "?"
+}

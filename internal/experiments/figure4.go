@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"coreda/internal/adl"
+	"coreda/internal/core"
+	"coreda/internal/persona"
+	"coreda/internal/sim"
+	"coreda/internal/stats"
+)
+
+// Figure4Series is the learning curve of one ADL.
+type Figure4Series struct {
+	Activity string
+	Curve    *stats.Curve
+	// Converged maps threshold ("95", "98") to the iteration at which
+	// the (smoothed) curve converges; 0 means never.
+	Converged map[string]int
+	// Paper holds the iterations the paper reports for the same
+	// thresholds.
+	Paper map[string]int
+}
+
+// Figure4Result reproduces Figure 4 of the paper: TD(λ) Q-learning curves
+// over 120 training samples per ADL.
+type Figure4Result struct {
+	Series []Figure4Series
+	// Episodes is the training-set size per ADL (the paper used 120).
+	Episodes int
+}
+
+// RunFigure4 trains a fresh planner per ADL on clean complete episodes
+// ("one training sample is a complete process of an ADL") and measures
+// behaviour-policy precision after every episode against a held-out
+// validation set.
+func RunFigure4(seed int64, episodes int) (*Figure4Result, error) {
+	if episodes <= 0 {
+		episodes = 120
+	}
+	res := &Figure4Result{Episodes: episodes}
+	for _, activity := range evalActivities() {
+		series, err := learningCurve(seed, activity, episodes)
+		if err != nil {
+			return nil, err
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+func learningCurve(seed int64, activity *adl.Activity, episodes int) (Figure4Series, error) {
+	user := persona.NewProfile("subject", 0.2)
+	if err := user.SetRoutine(activity, activity.CanonicalRoutine()); err != nil {
+		return Figure4Series{}, err
+	}
+	train, err := cleanTrainingSet(activity, user, sim.RNG(seed, "fig4/train/"+activity.Name), episodes)
+	if err != nil {
+		return Figure4Series{}, err
+	}
+	eval, err := cleanTrainingSet(activity, user, sim.RNG(seed, "fig4/eval/"+activity.Name), 30)
+	if err != nil {
+		return Figure4Series{}, err
+	}
+
+	planner, err := core.NewPlanner(activity, core.Config{}, sim.RNG(seed, "fig4/planner/"+activity.Name))
+	if err != nil {
+		return Figure4Series{}, err
+	}
+	evalRNG := sim.RNG(seed, "fig4/evalrng/"+activity.Name)
+
+	curve := &stats.Curve{}
+	for i, ep := range train {
+		if err := planner.TrainEpisode(ep); err != nil {
+			return Figure4Series{}, err
+		}
+		curve.Append(i+1, planner.SamplePolicyPrecision(eval, evalRNG))
+	}
+	return Figure4Series{
+		Activity:  activity.Name,
+		Curve:     curve,
+		Converged: convergenceOf(curve),
+		Paper:     PaperFigure4[activity.Name],
+	}, nil
+}

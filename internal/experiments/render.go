@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coreda/internal/sim"
+	"coreda/internal/stats"
+)
+
+// RenderTable3 formats the extract-precision result next to the paper's
+// numbers.
+func RenderTable3(r *Table3Result) string {
+	var b strings.Builder
+	b.WriteString("Table 3. Extract Precision of ADL Step (paper vs measured)\n")
+	fmt.Fprintf(&b, "%-15s %-30s %8s %10s %10s %14s\n", "ADL", "ADL Step", "Samples", "Paper", "Measured", "95% CI")
+	b.WriteString(strings.Repeat("-", 92) + "\n")
+	for _, row := range r.Rows {
+		c := stats.Counter{Hits: row.Detected, Trials: row.Samples}
+		lo, hi := c.Wilson(1.96)
+		fmt.Fprintf(&b, "%-15s %-30s %8d %9.0f%% %9.1f%% [%4.0f%%,%4.0f%%]\n",
+			row.Activity, row.Step, row.Samples, row.Paper*100, row.Precision*100, lo*100, hi*100)
+	}
+	fmt.Fprintf(&b, "overall measured: %.1f%% over %d samples\n", r.Total.Percent(), r.Total.Trials)
+	return b.String()
+}
+
+// RenderFigure4 formats the learning curves and convergence iterations.
+func RenderFigure4(r *Figure4Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4. Learning curve (TD(lambda) Q-learning, %d training samples per ADL)\n\n", r.Episodes)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "%s:\n", s.Activity)
+		b.WriteString(s.Curve.ASCIIPlot(60, 10))
+		for _, th := range []string{"95", "98"} {
+			measured := "never"
+			if s.Converged[th] > 0 {
+				measured = fmt.Sprintf("%d iterations", s.Converged[th])
+			}
+			fmt.Fprintf(&b, "  converge@%s%%: paper %d iterations, measured %s\n", th, s.Paper[th], measured)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderTable4 formats the predict-precision result.
+func RenderTable4(r *Table4Result) string {
+	var b strings.Builder
+	b.WriteString("Table 4. Predict Precision of ADL Step (paper vs measured)\n")
+	fmt.Fprintf(&b, "%-15s %-30s %8s %10s %10s\n", "ADL", "ADL Step", "Samples", "Paper", "Measured")
+	b.WriteString(strings.Repeat("-", 78) + "\n")
+	for _, row := range r.Rows {
+		if !row.HasResult {
+			fmt.Fprintf(&b, "%-15s %-30s %8s %10s %10s\n", row.Activity, row.Step, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(&b, "%-15s %-30s %8d %9.0f%% %9.1f%%\n",
+			row.Activity, row.Step, row.Samples, row.Paper*100, row.Precision*100)
+	}
+	fmt.Fprintf(&b, "overall measured: %.1f%% over %d incidents\n", r.Total.Percent(), r.Total.Trials)
+	return b.String()
+}
+
+// RenderFigure1 formats the scenario timeline.
+func RenderFigure1(tl *sim.Timeline) string {
+	return "Figure 1. A typical scenario of CoReDA (re-enacted)\n\n" + tl.String()
+}
+
+// RenderAblation formats iteration-based ablation rows.
+func RenderAblation(title string, rows []AblationRow, extraLabel string) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for _, row := range rows {
+		if extraLabel != "" {
+			fmt.Fprintf(&b, "  %-28s %s = %.2f\n", row.Name, extraLabel, row.Extra)
+			continue
+		}
+		iter := fmt.Sprintf("%.1f", row.MeanIter)
+		if row.MeanIter > ablationCap {
+			iter = fmt.Sprintf(">%d", ablationCap)
+		}
+		fmt.Fprintf(&b, "  %-28s mean episodes to perfect policy: %s\n", row.Name, iter)
+	}
+	return b.String()
+}
+
+// RenderComparison formats the baseline comparison.
+func RenderComparison(rows []ComparisonRow) string {
+	var b strings.Builder
+	b.WriteString("Baseline comparison (prediction precision)\n")
+	fmt.Fprintf(&b, "  %-32s %14s %14s\n", "predictor", "personalized", "multi-routine")
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-32s %13.1f%% %13.1f%%\n", row.Name, row.Personalized*100, row.MultiRoutine*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"coreda/internal/adl"
+	"coreda/internal/sensing"
+	"coreda/internal/sensornet"
+	"coreda/internal/signalgen"
+	"coreda/internal/sim"
+	"coreda/internal/stats"
+)
+
+// Table3Row is one line of the extract-precision table.
+type Table3Row struct {
+	Activity  string
+	Step      string
+	Tool      adl.ToolID
+	Samples   int
+	Detected  int
+	Precision float64
+	Paper     float64
+}
+
+// Table3Result reproduces Table 3 of the paper.
+type Table3Result struct {
+	Rows  []Table3Row
+	Total stats.Counter
+}
+
+// RunTable3 measures the extract precision of every ADL step: for each
+// step, samplesPerStep performances are synthesized on the step's tool
+// (with the activity's other nodes resting alongside, as in the real
+// deployment) and counted as extracted when the sensing subsystem emits
+// exactly that StepID. The paper used 320 samples, 40 per tool.
+func RunTable3(seed int64, samplesPerStep int) (*Table3Result, error) {
+	if samplesPerStep <= 0 {
+		samplesPerStep = 40
+	}
+	res := &Table3Result{}
+	for _, activity := range evalActivities() {
+		for _, step := range activity.Steps {
+			row := Table3Row{
+				Activity: activity.Name,
+				Step:     step.Name,
+				Tool:     step.Tool,
+				Paper:    PaperTable3[step.Name],
+			}
+			for i := 0; i < samplesPerStep; i++ {
+				ok, err := extractOnce(seed, activity, step, i, signalgen.DefaultNoise)
+				if err != nil {
+					return nil, err
+				}
+				row.Samples++
+				if ok {
+					row.Detected++
+				}
+				res.Total.Observe(ok)
+			}
+			row.Precision = float64(row.Detected) / float64(row.Samples)
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// extractOnce synthesizes one performance of a step and reports whether
+// the sensing subsystem extracted it.
+func extractOnce(seed int64, activity *adl.Activity, step adl.Step, trial int, noise float64) (bool, error) {
+	sched := sim.New()
+	stream := fmt.Sprintf("table3/%s/%d/%d", step.Name, step.Tool, trial)
+	medium := sensornet.NewMedium(sensornet.DefaultMediumConfig(), sched, sim.RNG(seed, stream+"/medium"))
+
+	extracted := false
+	sub, err := sensing.New(sensing.Config{Activity: activity}, sched, func(e sensing.StepEvent) {
+		if e.Step == step.ID() {
+			extracted = true
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	sensornet.NewGateway(sched, medium, sub.HandleUsage)
+
+	gen := signalgen.New(sensornet.SampleRate, noise, sim.RNG(seed, stream+"/signal"))
+	for id, tool := range activity.Tools {
+		var src *sensornet.SliceSource
+		if id == step.Tool {
+			series, _, _ := gen.StepSignalKind(step, activity.Tools[step.Tool].Sensor, 0.15)
+			src = sensornet.NewSliceSource(series, noise, sim.RNG(seed, fmt.Sprintf("%s/rest-%d", stream, id)))
+		} else {
+			src = sensornet.NewSliceSource(nil, noise, sim.RNG(seed, fmt.Sprintf("%s/rest-%d", stream, id)))
+		}
+		node := sensornet.NewNode(sensornet.NodeConfig{UID: uint16(id), Sensor: tool.Sensor}, sched, medium, src)
+		node.Start()
+	}
+
+	sub.Start()
+	sched.RunUntil(15 * time.Second)
+	sub.Stop()
+	return extracted, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"coreda/internal/adl"
+	"coreda/internal/sensornet"
+)
+
+// RenderTable1 prints Table 1 of the paper (the PAVENET hardware) next to
+// the simulator constants that stand in for each line, so a reader can
+// audit the substitution.
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1. Hardware of PAVENET (paper) -> simulator mapping\n")
+	rows := [][2]string{
+		{"CPU: Microchip PIC18LF4620", "simulated (node logic in internal/sensornet)"},
+		{"RAM: 4 KB", fmt.Sprintf("budget constant RAMSize = %d B", sensornet.RAMSize)},
+		{"ROM: 64 KB", fmt.Sprintf("budget constant ROMSize = %d B", sensornet.ROMSize)},
+		{"Wireless: ChipCon CC1000", "lossy shared medium (loss/corruption/latency/collisions)"},
+		{"I/O: UART, GPIO, I2C", "not modelled (no off-node peripherals)"},
+		{"Four LEDs", fmt.Sprintf("%d LEDs; green/red drive reminders", sensornet.LEDCount)},
+		{"Real Time Clock", "node-local clock with configurable drift (ppm)"},
+		{"External EEPROM (16 KB)", fmt.Sprintf("ring log of usage records, %d B", sensornet.EEPROMSize)},
+		{"Sensors: 3-axis accel, pressure,", "signalgen waveforms per sensor kind;"},
+		{"  brightness, temperature, motion", fmt.Sprintf("  sampled %d Hz, %d-of-%d threshold rule", sensornet.SampleRate, sensornet.DetectionHits, sensornet.DetectionWindow)},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "  %-36s %s\n", row[0], row[1])
+	}
+	return b.String()
+}
+
+// RenderTable2 prints Table 2 of the paper (sensor and tool of each ADL
+// step) from the live activity library, so the rendered table is the
+// configuration the experiments actually ran with.
+func RenderTable2() string {
+	var b strings.Builder
+	b.WriteString("Table 2. Sensor and tool of ADL Step (from the activity library)\n")
+	fmt.Fprintf(&b, "  %-15s %-30s %s\n", "ADL", "ADL Step", "Sensor & Tool")
+	b.WriteString("  " + strings.Repeat("-", 75) + "\n")
+	for _, activity := range evalActivities() {
+		for _, step := range activity.Steps {
+			tool := activity.Tools[step.Tool]
+			fmt.Fprintf(&b, "  %-15s %-30s %s on %s (uid %d)\n",
+				activity.Name, step.Name, sensorShort(tool.Sensor), tool.Name, tool.ID)
+		}
+	}
+	return b.String()
+}
+
+func sensorShort(k adl.SensorKind) string {
+	if k == adl.SensorAccelerometer {
+		return "Acce."
+	}
+	name := k.String()
+	return strings.ToUpper(name[:1]) + name[1:]
+}

@@ -1,0 +1,146 @@
+package persona
+
+import (
+	"math/rand"
+
+	"coreda/internal/adl"
+)
+
+// EventKind classifies one step of a generated episode.
+type EventKind int
+
+// Event kinds emitted by the sequencer.
+const (
+	// Correct means the user performed the routine's next step.
+	Correct EventKind = iota + 1
+	// WrongTool means the user used a tool out of order (the paper's
+	// trigger situation 2).
+	WrongTool
+	// Freeze means the user did nothing for a long time; the sensing
+	// subsystem reports StepIdle (trigger situation 1).
+	Freeze
+)
+
+// String returns the kind name.
+func (k EventKind) String() string {
+	switch k {
+	case Correct:
+		return "correct"
+	case WrongTool:
+		return "wrong-tool"
+	case Freeze:
+		return "freeze"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observed (or absent) tool usage of an episode.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Step is the StepID observed: the routine step for Correct, the
+	// erroneous tool for WrongTool, StepIdle for Freeze.
+	Step adl.StepID
+	// Expected is the step the routine called for at this point.
+	Expected adl.StepID
+	// RoutinePos is the index within the routine the user is at.
+	RoutinePos int
+}
+
+// Sequencer generates episodes of a user performing an activity as
+// discrete step sequences. It is the workload generator for the learning
+// (Figure 4) and prediction (Table 4) experiments.
+type Sequencer struct {
+	Profile  *Profile
+	Activity *adl.Activity
+	RNG      *rand.Rand
+}
+
+// CleanEpisode returns one complete, error-free performance — what the
+// paper calls "a complete process of an ADL", its unit of training data.
+func (s *Sequencer) CleanEpisode() ([]adl.StepID, error) {
+	r, err := s.Profile.Routine(s.Activity.Name, s.RNG)
+	if err != nil {
+		return nil, err
+	}
+	return r.Clone(), nil
+}
+
+// Episode generates one performance with errors drawn from the profile:
+// each routine position may be preceded by a freeze or a wrong-tool use.
+// After an error the user (prompted by the system, or recovering on their
+// own) performs the correct step, so the routine always completes — the
+// error events are interleaved.
+func (s *Sequencer) Episode() ([]Event, error) {
+	r, err := s.Profile.Routine(s.Activity.Name, s.RNG)
+	if err != nil {
+		return nil, err
+	}
+	var events []Event
+	for i, want := range r {
+		switch {
+		case s.RNG.Float64() < s.Profile.FreezeProb:
+			events = append(events, Event{Kind: Freeze, Step: adl.StepIdle, Expected: want, RoutinePos: i})
+		case s.RNG.Float64() < s.Profile.WrongToolProb:
+			wrong := s.wrongTool(r, i)
+			if wrong != adl.StepIdle {
+				events = append(events, Event{Kind: WrongTool, Step: wrong, Expected: want, RoutinePos: i})
+			}
+		}
+		events = append(events, Event{Kind: Correct, Step: want, Expected: want, RoutinePos: i})
+	}
+	return events, nil
+}
+
+// wrongTool picks a plausible erroneous tool at routine position i: any
+// tool of the activity other than the expected one and the one just used.
+func (s *Sequencer) wrongTool(r adl.Routine, i int) adl.StepID {
+	var prev adl.StepID
+	if i > 0 {
+		prev = r[i-1]
+	}
+	candidates := make([]adl.StepID, 0, len(r))
+	for _, id := range r {
+		if id != r[i] && id != prev {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		return adl.StepIdle
+	}
+	return candidates[s.RNG.Intn(len(candidates))]
+}
+
+// DetectedEpisode returns one clean performance as the sensing subsystem
+// would record it: each step survives with its detection probability
+// (detect returns the per-step extract precision, e.g. Table 3's rates).
+// Missed steps simply vanish from the sequence, as a missed 3-of-10
+// detection does.
+func (s *Sequencer) DetectedEpisode(detect func(adl.StepID) float64) ([]adl.StepID, error) {
+	r, err := s.Profile.Routine(s.Activity.Name, s.RNG)
+	if err != nil {
+		return nil, err
+	}
+	var out []adl.StepID
+	for _, step := range r {
+		if s.RNG.Float64() < detect(step) {
+			out = append(out, step)
+		}
+	}
+	return out, nil
+}
+
+// TrainingSet generates n clean episodes (the paper's "120 training
+// samples of each ADL").
+func (s *Sequencer) TrainingSet(n int) ([][]adl.StepID, error) {
+	out := make([][]adl.StepID, n)
+	for i := range out {
+		ep, err := s.CleanEpisode()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ep
+	}
+	return out, nil
+}

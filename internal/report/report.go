@@ -1,0 +1,213 @@
+// Package report turns recorded session traces into caregiver-facing
+// summaries: how often activities complete, how much reminding each step
+// needs, and whether the user's need for assistance is trending up — the
+// measurements behind the paper's motivation that a reminding system
+// reduces caregiver burden and surfaces dementia progression.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coreda/internal/trace"
+)
+
+// SessionSummary condenses one recorded session.
+type SessionSummary struct {
+	Session   int
+	Activity  string
+	Start     float64 // seconds since trace origin
+	End       float64
+	Steps     int
+	Completed bool
+	Reminders int
+	Minimal   int
+	Specific  int
+	Praises   int
+	Idles     int
+}
+
+// ToolLoad is the reminder pressure on one tool (== one step).
+type ToolLoad struct {
+	Tool      uint16
+	Reminders int
+}
+
+// Trend classifies how the per-session reminder load moved over the
+// recorded period.
+type Trend string
+
+// Trend values.
+const (
+	TrendImproving Trend = "improving" // fewer reminders needed lately
+	TrendStable    Trend = "stable"    //
+	TrendDeclining Trend = "declining" // more reminders needed lately
+	TrendUnknown   Trend = "insufficient data"
+)
+
+// Report aggregates a user's recorded sessions.
+type Report struct {
+	User     string
+	Sessions []SessionSummary
+
+	CompletionRate      float64
+	RemindersPerSession float64
+	PraisesPerSession   float64
+	EscalationShare     float64 // fraction of reminders at the specific level
+	ToolLoads           []ToolLoad
+	Trend               Trend
+	// FirstHalf and SecondHalf are the mean reminders per session in
+	// each half of the record, backing the trend call.
+	FirstHalf, SecondHalf float64
+}
+
+// Build analyzes a trace. stepCounts maps activity name to its step
+// count, so completion can be judged; sessions of unknown activities are
+// counted complete when a session-end record follows at least one step.
+func Build(user string, records []trace.Record, stepCounts map[string]int) *Report {
+	r := &Report{User: user}
+	var cur *SessionSummary
+	toolLoads := map[uint16]int{}
+
+	flush := func(end float64) {
+		if cur == nil {
+			return
+		}
+		cur.End = end
+		want, known := stepCounts[cur.Activity]
+		if known {
+			cur.Completed = cur.Steps >= want
+		} else {
+			cur.Completed = cur.Steps > 0
+		}
+		r.Sessions = append(r.Sessions, *cur)
+		cur = nil
+	}
+
+	for _, rec := range records {
+		switch rec.Kind {
+		case trace.KindSessionStart:
+			flush(rec.T)
+			cur = &SessionSummary{Session: rec.Session, Activity: rec.Activity, Start: rec.T}
+		case trace.KindSessionEnd:
+			flush(rec.T)
+		case trace.KindStep:
+			if cur != nil {
+				cur.Steps++
+			}
+		case trace.KindIdle:
+			if cur != nil {
+				cur.Idles++
+			}
+		case trace.KindReminder:
+			if cur != nil {
+				cur.Reminders++
+				if rec.Level == "specific" {
+					cur.Specific++
+				} else {
+					cur.Minimal++
+				}
+			}
+			toolLoads[rec.Tool]++
+		case trace.KindPraise:
+			if cur != nil {
+				cur.Praises++
+			}
+		}
+	}
+	if cur != nil {
+		flush(cur.Start)
+	}
+
+	n := len(r.Sessions)
+	if n == 0 {
+		r.Trend = TrendUnknown
+		return r
+	}
+	completed, reminders, praises, specific := 0, 0, 0, 0
+	for _, s := range r.Sessions {
+		if s.Completed {
+			completed++
+		}
+		reminders += s.Reminders
+		praises += s.Praises
+		specific += s.Specific
+	}
+	r.CompletionRate = float64(completed) / float64(n)
+	r.RemindersPerSession = float64(reminders) / float64(n)
+	r.PraisesPerSession = float64(praises) / float64(n)
+	if reminders > 0 {
+		r.EscalationShare = float64(specific) / float64(reminders)
+	}
+
+	for tool, count := range toolLoads {
+		r.ToolLoads = append(r.ToolLoads, ToolLoad{Tool: tool, Reminders: count})
+	}
+	sort.Slice(r.ToolLoads, func(i, j int) bool {
+		if r.ToolLoads[i].Reminders != r.ToolLoads[j].Reminders {
+			return r.ToolLoads[i].Reminders > r.ToolLoads[j].Reminders
+		}
+		return r.ToolLoads[i].Tool < r.ToolLoads[j].Tool
+	})
+
+	r.Trend, r.FirstHalf, r.SecondHalf = trendOf(r.Sessions)
+	return r
+}
+
+// trendOf compares the reminder load of the two halves of the record.
+func trendOf(sessions []SessionSummary) (Trend, float64, float64) {
+	if len(sessions) < 6 {
+		return TrendUnknown, 0, 0
+	}
+	half := len(sessions) / 2
+	mean := func(ss []SessionSummary) float64 {
+		total := 0
+		for _, s := range ss {
+			total += s.Reminders
+		}
+		return float64(total) / float64(len(ss))
+	}
+	first, second := mean(sessions[:half]), mean(sessions[half:])
+	// A change below a quarter of a reminder per session is noise.
+	switch {
+	case second < first-0.25:
+		return TrendImproving, first, second
+	case second > first+0.25:
+		return TrendDeclining, first, second
+	default:
+		return TrendStable, first, second
+	}
+}
+
+// Render formats the report for a terminal.
+func (r *Report) Render(toolNames map[uint16]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Caregiver report for %s\n", r.User)
+	fmt.Fprintf(&b, "  sessions recorded:      %d\n", len(r.Sessions))
+	if len(r.Sessions) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  completion rate:        %.0f%%\n", r.CompletionRate*100)
+	fmt.Fprintf(&b, "  reminders per session:  %.2f (%.0f%% escalated to specific)\n", r.RemindersPerSession, r.EscalationShare*100)
+	fmt.Fprintf(&b, "  praises per session:    %.2f\n", r.PraisesPerSession)
+	fmt.Fprintf(&b, "  assistance trend:       %s", r.Trend)
+	if r.Trend != TrendUnknown {
+		fmt.Fprintf(&b, " (%.2f -> %.2f reminders/session)", r.FirstHalf, r.SecondHalf)
+	}
+	b.WriteString("\n")
+	if len(r.ToolLoads) > 0 {
+		b.WriteString("  steps needing the most reminding:\n")
+		for i, tl := range r.ToolLoads {
+			if i >= 3 {
+				break
+			}
+			name := fmt.Sprintf("tool %d", tl.Tool)
+			if n, ok := toolNames[tl.Tool]; ok {
+				name = n
+			}
+			fmt.Fprintf(&b, "    %-20s %d reminders\n", name, tl.Reminders)
+		}
+	}
+	return b.String()
+}

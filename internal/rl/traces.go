@@ -1,0 +1,75 @@
+package rl
+
+// TraceKind selects how eligibility traces accumulate.
+type TraceKind int
+
+// Trace kinds.
+const (
+	// AccumulatingTraces add 1 on each visit (classic TD(λ)).
+	AccumulatingTraces TraceKind = iota
+	// ReplacingTraces reset to 1 on each visit, which is more stable for
+	// frequently revisited states.
+	ReplacingTraces
+)
+
+// traceEpsilon is the magnitude below which a trace is dropped; it bounds
+// the active set without measurably changing updates.
+const traceEpsilon = 1e-6
+
+// Traces is a sparse eligibility-trace table over (state, action) pairs.
+type Traces struct {
+	kind    TraceKind
+	actions int
+	e       map[int]float64
+}
+
+// NewTraces returns empty traces for a table with the given action count.
+func NewTraces(kind TraceKind, actions int) *Traces {
+	return &Traces{kind: kind, actions: actions, e: make(map[int]float64)}
+}
+
+func (tr *Traces) key(s State, a Action) int { return int(s)*tr.actions + int(a) }
+
+// Visit marks (s,a) as just taken.
+func (tr *Traces) Visit(s State, a Action) {
+	k := tr.key(s, a)
+	switch tr.kind {
+	case ReplacingTraces:
+		tr.e[k] = 1
+	default:
+		tr.e[k]++
+	}
+}
+
+// Get returns the trace of (s,a).
+func (tr *Traces) Get(s State, a Action) float64 { return tr.e[tr.key(s, a)] }
+
+// Decay multiplies every trace by factor, dropping entries that fall below
+// the cutoff.
+func (tr *Traces) Decay(factor float64) {
+	for k, v := range tr.e {
+		v *= factor
+		if v < traceEpsilon {
+			delete(tr.e, k)
+		} else {
+			tr.e[k] = v
+		}
+	}
+}
+
+// Reset clears all traces (start of an episode, or after a non-greedy
+// action in Watkins Q(λ)).
+func (tr *Traces) Reset() {
+	// Allocate anew: cheaper than deleting when the map is large.
+	tr.e = make(map[int]float64)
+}
+
+// Active returns the number of non-zero traces.
+func (tr *Traces) Active() int { return len(tr.e) }
+
+// ForEach calls fn for every non-zero trace.
+func (tr *Traces) ForEach(fn func(s State, a Action, e float64)) {
+	for k, v := range tr.e {
+		fn(State(k/tr.actions), Action(k%tr.actions), v)
+	}
+}

@@ -1,0 +1,74 @@
+package rl
+
+import "math/rand"
+
+// Env is an episodic environment with discrete states and actions.
+type Env interface {
+	// NumStates returns the size of the state space.
+	NumStates() int
+	// NumActions returns the size of the action space.
+	NumActions() int
+	// Reset starts a new episode and returns the initial state.
+	Reset(rng *rand.Rand) State
+	// Step applies an action and returns the next state, the reward and
+	// whether the episode ended.
+	Step(a Action, rng *rand.Rand) (next State, reward float64, done bool)
+}
+
+// Trainer runs Q(λ) episodes against an Env. It exists for tests and for
+// the RL ablation benches; CoReDA's planning subsystem drives the learner
+// directly from live usage events instead.
+type Trainer struct {
+	Env     Env
+	Learner *QLambda
+	Policy  Policy
+	RNG     *rand.Rand
+	// MaxSteps bounds one episode (0 = 10_000).
+	MaxSteps int
+}
+
+// EpisodeResult summarizes one training episode.
+type EpisodeResult struct {
+	Steps    int
+	Return   float64 // undiscounted sum of rewards
+	MaxDelta float64 // largest |δ| seen during the episode
+}
+
+// RunEpisode plays one episode to termination (or MaxSteps).
+func (t *Trainer) RunEpisode() EpisodeResult {
+	limit := t.MaxSteps
+	if limit <= 0 {
+		limit = 10_000
+	}
+	t.Learner.StartEpisode()
+	s := t.Env.Reset(t.RNG)
+	var res EpisodeResult
+	for i := 0; i < limit; i++ {
+		a := t.Policy.Select(t.Learner.Table(), s, t.RNG)
+		greedyA, _ := t.Learner.Table().Best(s)
+		next, r, done := t.Env.Step(a, t.RNG)
+		t.Learner.Observe(s, a, r, next, done, a == greedyA)
+		res.Steps++
+		res.Return += r
+		if d := t.Learner.LastDelta(); d > res.MaxDelta {
+			res.MaxDelta = d
+		}
+		if done {
+			break
+		}
+		s = next
+	}
+	if p, ok := t.Policy.(*EpsilonGreedy); ok {
+		p.Decay()
+	}
+	return res
+}
+
+// Run executes n episodes and returns their results.
+func (t *Trainer) Run(n int) []EpisodeResult {
+	out := make([]EpisodeResult, n)
+	for i := range out {
+		out[i] = t.RunEpisode()
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestExpectedSARSALearnsChain(t *testing.T) {
+	const n = 5
+	cfg := Config{Alpha: 0.5, Gamma: 0.9, Lambda: 0.5, Traces: ReplacingTraces}
+	table := NewQTable(n, 2, 0)
+	learner, err := NewExpectedSARSA(cfg, table, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &chainEnv{n: n}
+	rng := rand.New(rand.NewSource(3))
+	policy := &EpsilonGreedy{Epsilon: 0.3, DecayRate: 0.99, Min: 0.05}
+	for ep := 0; ep < 600; ep++ {
+		learner.StartEpisode()
+		learner.Epsilon = policy.Epsilon
+		s := env.Reset(rng)
+		for step := 0; step < 500; step++ {
+			a := policy.Select(table, s, rng)
+			next, r, done := env.Step(a, rng)
+			learner.Observe(s, a, r, next, done)
+			if done {
+				break
+			}
+			s = next
+		}
+		policy.Decay()
+	}
+	for s := 0; s < n-1; s++ {
+		a, _ := table.Best(State(s))
+		if a != 1 {
+			t.Errorf("greedy at %d = %v, want right", s, a)
+		}
+	}
+}
+
+func TestExpectedSARSAExpectedValue(t *testing.T) {
+	table := NewQTable(1, 2, 0)
+	table.Set(0, 0, 1)
+	table.Set(0, 1, 3)
+	l, _ := NewExpectedSARSA(DefaultConfig(), table, 0.5)
+	// (1-0.5)*3 + 0.5*mean(1,3)=2 -> 1.5 + 1 = 2.5
+	if got := l.expectedValue(0); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("expectedValue = %v, want 2.5", got)
+	}
+	l.Epsilon = 0
+	if got := l.expectedValue(0); got != 3 {
+		t.Errorf("greedy expectation = %v, want 3", got)
+	}
+}
+
+func TestExpectedSARSAValidatesConfig(t *testing.T) {
+	if _, err := NewExpectedSARSA(Config{Alpha: -1}, NewQTable(1, 1, 0), 0.1); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestDoubleQLearnsChain(t *testing.T) {
+	const n = 5
+	cfg := Config{Alpha: 0.5, Gamma: 0.9, Lambda: 0}
+	rng := rand.New(rand.NewSource(4))
+	learner, err := NewDoubleQ(cfg, n, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &chainEnv{n: n}
+	policy := &EpsilonGreedy{Epsilon: 0.3, DecayRate: 0.995, Min: 0.05}
+	for ep := 0; ep < 1500; ep++ {
+		s := env.Reset(rng)
+		for step := 0; step < 500; step++ {
+			a := policy.Select(learner.Combined(), s, rng)
+			next, r, done := env.Step(a, rng)
+			learner.Observe(s, a, r, next, done)
+			if done {
+				break
+			}
+			s = next
+		}
+		policy.Decay()
+	}
+	for s := 0; s < n-1; s++ {
+		a, _ := learner.Best(State(s))
+		if a != 1 {
+			t.Errorf("greedy at %d = %v, want right", s, a)
+		}
+	}
+}
+
+// noisyBanditEnv is a single-state, many-armed bandit where every arm has
+// zero mean reward but high variance: plain Q-learning's max operator
+// overestimates the best arm's value, Double Q does not.
+type noisyBanditEnv struct{ arms int }
+
+func (e *noisyBanditEnv) NumStates() int         { return 1 }
+func (e *noisyBanditEnv) NumActions() int        { return e.arms }
+func (e *noisyBanditEnv) Reset(*rand.Rand) State { return 0 }
+func (e *noisyBanditEnv) Step(_ Action, rng *rand.Rand) (State, float64, bool) {
+	return 0, rng.NormFloat64(), true
+}
+
+func TestDoubleQReducesMaximizationBias(t *testing.T) {
+	const arms = 10
+	cfg := Config{Alpha: 0.1, Gamma: 0.9, Lambda: 0}
+	rng := rand.New(rand.NewSource(5))
+	env := &noisyBanditEnv{arms: arms}
+
+	single := NewQTable(1, arms, 0)
+	qlearner, _ := NewQLambda(cfg, single)
+	double, _ := NewDoubleQ(cfg, 1, arms, rng)
+
+	for i := 0; i < 5000; i++ {
+		a := Action(rng.Intn(arms))
+		_, r, _ := env.Step(a, rng)
+		qlearner.StartEpisode()
+		qlearner.Observe(0, a, r, 0, true, true)
+		double.Observe(0, a, r, 0, true)
+	}
+	_, singleMax := single.Best(0)
+	_, doubleMax := double.Best(0)
+	// True value of every arm is 0; the single estimator's max of 10
+	// noisy estimates is biased upward, Double Q's cross-valuation is
+	// nearly unbiased — it must be closer to zero.
+	if math.Abs(doubleMax) >= math.Abs(singleMax) {
+		t.Errorf("double max |%v| not smaller than single max |%v|", doubleMax, singleMax)
+	}
+}
+
+func TestDoubleQCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	l, _ := NewDoubleQ(Config{Alpha: 0.5, Gamma: 0.9}, 2, 2, rng)
+	l.a.Set(0, 1, 4)
+	l.b.Set(0, 1, 2)
+	c := l.Combined()
+	if got := c.Get(0, 1); got != 3 {
+		t.Errorf("combined = %v, want 3", got)
+	}
+	a, v := l.Best(0)
+	if a != 1 || v != 3 {
+		t.Errorf("Best = (%v, %v)", a, v)
+	}
+}
+
+func TestDoubleQValidatesConfig(t *testing.T) {
+	if _, err := NewDoubleQ(Config{Alpha: 2}, 1, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("bad config accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package rtbridge
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"coreda/internal/wire"
+)
+
+// LEDEvent is a decoded LED command received by a node client.
+type LEDEvent struct {
+	Color  wire.LEDColor
+	Blinks int
+	Period time.Duration
+}
+
+// NodeClient simulates one PAVENET node over a TCP connection: it reports
+// tool usage and surfaces LED commands.
+type NodeClient struct {
+	uid   uint16
+	conn  net.Conn
+	wm    sync.Mutex
+	seq   uint16
+	onLED func(LEDEvent)
+
+	closed sync.Once
+	readEr error
+	doneCh chan struct{}
+}
+
+// NewNodeClient wraps an established connection. onLED receives decoded
+// LED commands (may be nil). The reader loop starts immediately.
+func NewNodeClient(conn net.Conn, uid uint16, onLED func(LEDEvent)) *NodeClient {
+	n := &NodeClient{uid: uid, conn: conn, onLED: onLED, doneCh: make(chan struct{})}
+	go n.readLoop()
+	return n
+}
+
+// DialNode connects to a bridge server and returns a node client.
+func DialNode(addr string, uid uint16, onLED func(LEDEvent)) (*NodeClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewNodeClient(conn, uid, onLED), nil
+}
+
+// UID returns the node's unique ID (== its tool ID).
+func (n *NodeClient) UID() uint16 { return n.uid }
+
+// Close shuts the connection down.
+func (n *NodeClient) Close() error {
+	var err error
+	n.closed.Do(func() { err = n.conn.Close() })
+	return err
+}
+
+// Done is closed when the reader loop exits (connection closed).
+func (n *NodeClient) Done() <-chan struct{} { return n.doneCh }
+
+// UseStart reports that the tool started being used.
+func (n *NodeClient) UseStart(nodeTime time.Duration, hits int) error {
+	n.wm.Lock()
+	defer n.wm.Unlock()
+	n.seq++
+	return n.write(&wire.UsageStart{
+		UID:       n.uid,
+		Seq:       n.seq,
+		NodeTime:  uint32(nodeTime / time.Millisecond),
+		Hits:      uint8(hits),
+		Threshold: 100,
+	})
+}
+
+// UseEnd reports that usage ceased after the given duration.
+func (n *NodeClient) UseEnd(nodeTime, duration time.Duration) error {
+	n.wm.Lock()
+	defer n.wm.Unlock()
+	n.seq++
+	return n.write(&wire.UsageEnd{
+		UID:        n.uid,
+		Seq:        n.seq,
+		NodeTime:   uint32(nodeTime / time.Millisecond),
+		DurationMs: uint32(duration / time.Millisecond),
+	})
+}
+
+// Heartbeat sends a liveness beacon.
+func (n *NodeClient) Heartbeat(uptime time.Duration) error {
+	n.wm.Lock()
+	defer n.wm.Unlock()
+	n.seq++
+	return n.write(&wire.Heartbeat{
+		UID:      n.uid,
+		Seq:      n.seq,
+		UptimeMs: uint32(uptime / time.Millisecond),
+		Battery:  100,
+	})
+}
+
+// write must be called with wm held.
+func (n *NodeClient) write(p wire.Packet) error {
+	frame, err := wire.Encode(p)
+	if err != nil {
+		return err
+	}
+	_, err = n.conn.Write(frame)
+	return err
+}
+
+func (n *NodeClient) readLoop() {
+	defer close(n.doneCh)
+	r := wire.NewReader(n.conn)
+	for {
+		pkt, err := r.ReadPacket()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				n.readEr = err
+			}
+			return
+		}
+		switch cmd := pkt.(type) {
+		case *wire.LEDCommand:
+			if n.onLED != nil {
+				n.onLED(LEDEvent{
+					Color:  cmd.Color,
+					Blinks: int(cmd.Blinks),
+					Period: time.Duration(cmd.PeriodMs) * time.Millisecond,
+				})
+			}
+			n.wm.Lock()
+			err := n.write(&wire.Ack{UID: n.uid, Seq: cmd.Seq})
+			n.wm.Unlock()
+			if err != nil {
+				return
+			}
+		case *wire.Ack:
+			// Usage report acknowledged; nothing to do over TCP.
+		}
+	}
+}

@@ -1,0 +1,316 @@
+// Package rtbridge runs the CoReDA stack against real network sockets and
+// wall-clock time: sensor nodes (cmd/coreda-node, or real PAVENET bridges)
+// connect over TCP speaking the wire frame format, and the virtual-time
+// scheduler the subsystems run on is pumped from the wall clock — with an
+// optional speed-up factor so demonstrations do not take real minutes.
+//
+// Concurrency model: the scheduler and System are single-threaded and
+// owned by the Run loop; connection readers forward decoded packets into
+// the loop through a channel. LED commands are written back to the
+// originating connection (each UID's latest connection wins).
+package rtbridge
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"coreda"
+	"coreda/internal/reminding"
+	"coreda/internal/sensornet"
+	"coreda/internal/sim"
+	"coreda/internal/wire"
+)
+
+// ServerConfig configures a bridge server.
+type ServerConfig struct {
+	// System configures the CoReDA stack (Activity required). The LEDs
+	// sink is installed by the server.
+	System coreda.SystemConfig
+	// Speed is how many simulated seconds elapse per wall-clock second
+	// (zero means 1).
+	Speed float64
+	// Tick is the clock-pump granularity (zero means 50 ms of wall
+	// time).
+	Tick time.Duration
+	// Mode is the session mode auto-started when usage arrives while no
+	// session is active (zero means ModeLearn).
+	Mode coreda.Mode
+	// OnLog receives human-readable event lines (may be nil).
+	OnLog func(string)
+}
+
+// Server bridges TCP sensor nodes to CoReDA systems in wall-clock time.
+// It routes through a Hub, so one server can support several activities
+// at once (AddActivity); NewServer's ServerConfig.System is simply the
+// first activity added.
+type Server struct {
+	cfg   ServerConfig
+	sched *sim.Scheduler
+	hub   *coreda.Hub
+	sys   *coreda.System // the first activity's system, for convenience
+
+	packets chan routedPacket
+	done    chan struct{}
+	stopped sync.Once
+
+	mu    sync.Mutex
+	conns map[uint16]*nodeConn
+	all   map[*nodeConn]struct{}
+	seq   uint16
+}
+
+type routedPacket struct {
+	pkt  wire.Packet
+	conn *nodeConn
+	// fn, when non-nil, is a closure to run on the loop goroutine
+	// instead of a packet (see Do).
+	fn func()
+}
+
+type nodeConn struct {
+	c  net.Conn
+	wm sync.Mutex // serializes frame writes (acks vs LED commands)
+}
+
+func (nc *nodeConn) write(p wire.Packet) error {
+	frame, err := wire.Encode(p)
+	if err != nil {
+		return err
+	}
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	_, err = nc.c.Write(frame)
+	return err
+}
+
+// NewServer builds the stack. Call Run to start the clock pump, then
+// Serve (or HandleConn) to attach connections.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = 50 * time.Millisecond
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = coreda.ModeLearn
+	}
+	s := &Server{
+		cfg:     cfg,
+		sched:   sim.New(),
+		packets: make(chan routedPacket, 256),
+		done:    make(chan struct{}),
+		conns:   make(map[uint16]*nodeConn),
+		all:     make(map[*nodeConn]struct{}),
+	}
+	s.hub = coreda.NewHub(s.sched)
+	s.hub.SetUnknownHandler(func(e coreda.UsageEvent) {
+		s.log(fmt.Sprintf("usage from unknown tool %d", e.Tool))
+	})
+	sys, err := s.AddActivity(cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	s.sys = sys
+	return s, nil
+}
+
+// AddActivity registers another activity's system on this server (its
+// tools route automatically). Call before Run starts.
+func (s *Server) AddActivity(sysCfg coreda.SystemConfig) (*coreda.System, error) {
+	sysCfg.LEDs = serverLEDs{s}
+	if sysCfg.DefaultMode == 0 {
+		sysCfg.DefaultMode = s.cfg.Mode
+	}
+	return s.hub.Add(sysCfg)
+}
+
+// Hub exposes the activity router (read-only use from callbacks or Do).
+func (s *Server) Hub() *coreda.Hub { return s.hub }
+
+// System exposes the underlying CoReDA system (training, persistence).
+// Only touch it before Run starts, from within system callbacks, or via
+// Do.
+func (s *Server) System() *coreda.System { return s.sys }
+
+// Do runs fn on the loop goroutine (where the System may be touched
+// safely) and waits for it to finish. It must not be called before Run
+// starts or after Stop.
+func (s *Server) Do(fn func()) {
+	done := make(chan struct{})
+	select {
+	case s.packets <- routedPacket{fn: func() { fn(); close(done) }}:
+		<-done
+	case <-s.done:
+	}
+}
+
+// Run pumps the virtual clock from the wall clock and processes incoming
+// packets until Stop is called. It must run in exactly one goroutine.
+func (s *Server) Run() {
+	ticker := time.NewTicker(s.cfg.Tick)
+	defer ticker.Stop()
+	start := time.Now()
+	simNow := func() time.Duration {
+		return time.Duration(float64(time.Since(start)) * s.cfg.Speed)
+	}
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+			s.sched.RunUntil(simNow())
+		case rp := <-s.packets:
+			s.sched.RunUntil(simNow())
+			if rp.fn != nil {
+				rp.fn()
+				continue
+			}
+			s.handlePacket(rp, simNow())
+		}
+	}
+}
+
+// Stop terminates Run and closes every connection.
+func (s *Server) Stop() {
+	s.stopped.Do(func() {
+		close(s.done)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for nc := range s.all {
+			nc.c.Close()
+		}
+	})
+}
+
+// Serve accepts connections until the listener fails or Stop is called.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		go s.HandleConn(conn)
+	}
+}
+
+// HandleConn reads frames from one node connection until EOF.
+func (s *Server) HandleConn(conn net.Conn) {
+	nc := &nodeConn{c: conn}
+	s.mu.Lock()
+	s.all[nc] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.all, nc)
+		s.mu.Unlock()
+	}()
+	r := wire.NewReader(conn)
+	for {
+		pkt, err := r.ReadPacket()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.log(fmt.Sprintf("conn %s: %v", conn.RemoteAddr(), err))
+			}
+			conn.Close()
+			return
+		}
+		select {
+		case s.packets <- routedPacket{pkt: pkt, conn: nc}:
+		case <-s.done:
+			conn.Close()
+			return
+		}
+	}
+}
+
+// handlePacket runs on the Run goroutine.
+func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
+	switch pkt := rp.pkt.(type) {
+	case *wire.UsageStart:
+		s.register(pkt.UID, rp.conn)
+		s.ack(rp.conn, pkt.UID, pkt.Seq)
+		s.log(fmt.Sprintf("%7.1fs usage-start tool %d", now.Seconds(), pkt.UID))
+		s.hub.HandleUsage(coreda.UsageEvent{
+			Tool: coreda.ToolID(pkt.UID),
+			Kind: sensornet.UsageStarted,
+			At:   now,
+			Hits: int(pkt.Hits),
+		})
+	case *wire.UsageEnd:
+		s.register(pkt.UID, rp.conn)
+		s.ack(rp.conn, pkt.UID, pkt.Seq)
+		s.hub.HandleUsage(coreda.UsageEvent{
+			Tool:     coreda.ToolID(pkt.UID),
+			Kind:     sensornet.UsageEnded,
+			At:       now,
+			Duration: time.Duration(pkt.DurationMs) * time.Millisecond,
+		})
+	case *wire.Heartbeat:
+		s.register(pkt.UID, rp.conn)
+	case *wire.Ack:
+		// LED command acknowledged; TCP already guarantees delivery.
+	}
+}
+
+func (s *Server) register(uid uint16, nc *nodeConn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conns[uid] = nc
+}
+
+func (s *Server) ack(nc *nodeConn, uid, seq uint16) {
+	if err := nc.write(&wire.Ack{UID: uid, Seq: seq}); err != nil {
+		s.log(fmt.Sprintf("ack to %d: %v", uid, err))
+	}
+}
+
+func (s *Server) log(msg string) {
+	if s.cfg.OnLog != nil {
+		s.cfg.OnLog(msg)
+	}
+}
+
+// serverLEDs routes reminder LED commands to the node connections.
+type serverLEDs struct{ s *Server }
+
+// Blink implements reminding.LEDs.
+func (l serverLEDs) Blink(tool coreda.ToolID, color wire.LEDColor, blinks int, period time.Duration) {
+	s := l.s
+	s.mu.Lock()
+	nc := s.conns[uint16(tool)]
+	s.seq++
+	seq := s.seq
+	s.mu.Unlock()
+	if nc == nil {
+		s.log(fmt.Sprintf("LED %s x%d for tool %d: node not connected", color, blinks, tool))
+		return
+	}
+	if blinks < 0 {
+		blinks = 0
+	}
+	if blinks > 255 {
+		blinks = 255
+	}
+	cmd := &wire.LEDCommand{
+		UID:      uint16(tool),
+		Seq:      seq,
+		Color:    color,
+		Blinks:   uint8(blinks),
+		PeriodMs: uint16(period / time.Millisecond),
+	}
+	if err := nc.write(cmd); err != nil {
+		s.log(fmt.Sprintf("LED to %d: %v", tool, err))
+	}
+}
+
+var _ reminding.LEDs = serverLEDs{}

@@ -1,0 +1,145 @@
+package sensornet
+
+import (
+	"math/rand"
+	"time"
+
+	"coreda/internal/sim"
+)
+
+// MediumConfig parameterizes the simulated radio channel.
+type MediumConfig struct {
+	// Loss is the probability that a transmitted frame is lost entirely.
+	Loss float64
+	// Corrupt is the probability that a delivered frame has one bit
+	// flipped in flight (the CRC then rejects it at the receiver).
+	Corrupt float64
+	// BaseLatency is the minimum propagation + processing delay.
+	BaseLatency time.Duration
+	// Jitter is the maximum extra uniformly-distributed delay.
+	Jitter time.Duration
+	// CollisionWindow, when positive, models the shared-channel nature
+	// of a CC1000-class radio without carrier sensing: two transmissions
+	// started within the window collide and both frames are lost. Zero
+	// disables collisions.
+	CollisionWindow time.Duration
+}
+
+// DefaultMediumConfig returns a channel resembling a benign indoor CC1000
+// deployment: 2 % loss, 0.5 % corruption, 5–15 ms delivery.
+func DefaultMediumConfig() MediumConfig {
+	return MediumConfig{
+		Loss:        0.02,
+		Corrupt:     0.005,
+		BaseLatency: 5 * time.Millisecond,
+		Jitter:      10 * time.Millisecond,
+	}
+}
+
+// MediumStats counts channel-level events.
+type MediumStats struct {
+	Sent      int
+	Lost      int
+	Corrupted int
+	Delivered int
+	// Collisions counts frames destroyed by overlapping transmissions
+	// (each collision destroys at least two).
+	Collisions int
+}
+
+// Medium is the shared radio channel connecting nodes and the gateway.
+type Medium struct {
+	cfg   MediumConfig
+	sched *sim.Scheduler
+	rng   *rand.Rand
+	nodes map[uint16]*Node
+	gw    *Gateway
+
+	lastTx    time.Duration
+	lastInAir *sim.Event
+	everTx    bool
+
+	// Stats accumulates channel events.
+	Stats MediumStats
+}
+
+// NewMedium creates a radio channel on the scheduler. rng drives loss,
+// corruption and jitter.
+func NewMedium(cfg MediumConfig, sched *sim.Scheduler, rng *rand.Rand) *Medium {
+	return &Medium{cfg: cfg, sched: sched, rng: rng, nodes: make(map[uint16]*Node)}
+}
+
+func (m *Medium) attach(n *Node) { m.nodes[n.UID()] = n }
+
+func (m *Medium) setGateway(g *Gateway) { m.gw = g }
+
+// Node returns the attached node with the given UID, if any.
+func (m *Medium) Node(uid uint16) (*Node, bool) {
+	n, ok := m.nodes[uid]
+	return n, ok
+}
+
+// backoffJitter returns a random extra delay added to retransmission
+// timeouts so colliding senders desynchronize (ALOHA-style backoff).
+func (m *Medium) backoffJitter() time.Duration {
+	return time.Duration(m.rng.Int63n(int64(AckTimeout)))
+}
+
+// toGateway carries a frame from a node to the gateway.
+func (m *Medium) toGateway(frame []byte) {
+	m.deliver(frame, func(f []byte) {
+		if m.gw != nil {
+			m.gw.receive(f)
+		}
+	})
+}
+
+// toNode carries a frame from the gateway to one node.
+func (m *Medium) toNode(uid uint16, frame []byte) {
+	m.deliver(frame, func(f []byte) {
+		if n, ok := m.nodes[uid]; ok {
+			n.receive(f)
+		}
+	})
+}
+
+func (m *Medium) deliver(frame []byte, sink func([]byte)) {
+	m.Stats.Sent++
+	now := m.sched.Now()
+	if m.cfg.CollisionWindow > 0 && m.everTx && now-m.lastTx < m.cfg.CollisionWindow {
+		// Overlapping transmissions: destroy the frame still in the air
+		// (if it has not landed yet) and this one.
+		destroyed := 1
+		if m.lastInAir != nil && !m.lastInAir.Cancelled() && m.lastInAir.At() > now {
+			m.lastInAir.Cancel()
+			destroyed++
+		}
+		m.Stats.Collisions += destroyed
+		m.Stats.Lost += destroyed
+		m.lastTx = now
+		m.lastInAir = nil
+		return
+	}
+	m.lastTx = now
+	m.everTx = true
+	if m.rng.Float64() < m.cfg.Loss {
+		m.Stats.Lost++
+		return
+	}
+	// Copy: the sender may reuse its buffer (retransmissions), and
+	// corruption must not mutate the sender's copy.
+	f := append([]byte(nil), frame...)
+	if m.rng.Float64() < m.cfg.Corrupt {
+		m.Stats.Corrupted++
+		bit := m.rng.Intn(len(f) * 8)
+		f[bit/8] ^= 1 << (bit % 8)
+	}
+	delay := m.cfg.BaseLatency
+	if m.cfg.Jitter > 0 {
+		delay += time.Duration(m.rng.Int63n(int64(m.cfg.Jitter)))
+	}
+	m.lastInAir = m.sched.After(delay, func() {
+		m.Stats.Delivered++
+		sink(f)
+	})
+}

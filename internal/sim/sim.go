@@ -1,0 +1,237 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, a cancellable event queue, derived random-number
+// streams and a timeline recorder.
+//
+// Every CoReDA experiment runs on this kernel instead of wall-clock time,
+// so results are reproducible bit-for-bit from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	index     int // heap index; -1 once fired or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether the event was cancelled.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Scheduler is a single-threaded discrete-event scheduler with a virtual
+// clock. It is intentionally not safe for concurrent use: determinism is
+// the point.
+type Scheduler struct {
+	now  time.Duration
+	heap eventHeap
+	seq  uint64
+}
+
+// New returns a scheduler with the clock at zero.
+func New() *Scheduler { return &Scheduler{} }
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t <
+// Now) panics: it indicates a simulation bug, not a recoverable condition.
+func (s *Scheduler) At(t time.Duration, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, s.now))
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from
+// now, until the returned stop function is called.
+func (s *Scheduler) Every(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic("sim: Every with non-positive interval")
+	}
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			pending = s.After(interval, tick)
+		}
+	}
+	pending = s.After(interval, tick)
+	return func() {
+		stopped = true
+		if pending != nil {
+			pending.Cancel()
+		}
+	}
+}
+
+// Step fires the next pending event, advancing the clock to its time. It
+// returns false when no events remain.
+func (s *Scheduler) Step() bool {
+	for s.heap.Len() > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.cancelled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil fires events with time <= deadline, then advances the clock to
+// the deadline. Events scheduled later remain pending.
+func (s *Scheduler) RunUntil(deadline time.Duration) {
+	for {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Pending returns the number of uncancelled events in the queue.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+func (s *Scheduler) peek() (time.Duration, bool) {
+	for s.heap.Len() > 0 {
+		e := s.heap[0]
+		if e.cancelled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		return e.at, true
+	}
+	return 0, false
+}
+
+// eventHeap orders events by time, breaking ties by scheduling order so
+// same-time events fire FIFO.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// RNG derives an independent random stream from a master seed and a stream
+// name. Distinct names yield decorrelated streams, so adding a new
+// consumer of randomness does not perturb existing ones.
+func RNG(seed int64, stream string) *rand.Rand {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", seed, stream)
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// TimelineEntry is one recorded event of a simulated session.
+type TimelineEntry struct {
+	At    time.Duration
+	Actor string // "user", "sensing", "planning", "reminding", ...
+	Text  string
+}
+
+// Timeline records annotated events of a session and renders them in the
+// style of Figure 1 of the paper (a time-ordered table of ADL steps and
+// reminders).
+type Timeline struct {
+	entries []TimelineEntry
+}
+
+// Record appends an entry.
+func (tl *Timeline) Record(at time.Duration, actor, format string, args ...any) {
+	tl.entries = append(tl.entries, TimelineEntry{At: at, Actor: actor, Text: fmt.Sprintf(format, args...)})
+}
+
+// Entries returns the entries sorted by time (stable for equal times).
+func (tl *Timeline) Entries() []TimelineEntry {
+	out := append([]TimelineEntry(nil), tl.entries...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the number of recorded entries.
+func (tl *Timeline) Len() int { return len(tl.entries) }
+
+// String renders the timeline as a fixed-width table.
+func (tl *Timeline) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8s  %-10s  %s\n", "time", "actor", "event")
+	fmt.Fprintf(&b, "%8s  %-10s  %s\n", "--------", "----------", strings.Repeat("-", 50))
+	for _, e := range tl.Entries() {
+		fmt.Fprintf(&b, "%7.1fs  %-10s  %s\n", e.At.Seconds(), e.Actor, e.Text)
+	}
+	return b.String()
+}

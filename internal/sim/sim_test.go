@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var order []int
+	s.At(3*time.Second, func() { order = append(order, 3) })
+	s.At(1*time.Second, func() { order = append(order, 1) })
+	s.At(2*time.Second, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestSameTimeEventsFireFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestAfterAndNow(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.After(5*time.Second, func() {
+		at = s.Now()
+		s.After(2*time.Second, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 7*time.Second {
+		t.Errorf("final callback at %v, want 7s", at)
+	}
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := New()
+	fired := false
+	s.After(-time.Second, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Error("event with negative delay never fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	s.Run()
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New()
+	fired := false
+	late := s.At(2*time.Second, func() { fired = true })
+	s.At(1*time.Second, func() { late.Cancel() })
+	s.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []int
+	s.At(1*time.Second, func() { fired = append(fired, 1) })
+	s.At(5*time.Second, func() { fired = append(fired, 5) })
+	s.RunUntil(3 * time.Second)
+	if len(fired) != 1 || fired[0] != 1 {
+		t.Errorf("fired = %v", fired)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+	s.Run()
+	if len(fired) != 2 {
+		t.Errorf("fired after Run = %v", fired)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	count := 0
+	var stop func()
+	stop = s.Every(time.Second, func() {
+		count++
+		if count == 5 {
+			stop()
+		}
+	})
+	s.RunUntil(20 * time.Second)
+	if count != 5 {
+		t.Errorf("count = %d, want 5 (stopped after 5 ticks)", count)
+	}
+}
+
+func TestEveryPanicsOnNonPositiveInterval(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New().Every(0, func() {})
+}
+
+func TestPendingSkipsCancelled(t *testing.T) {
+	s := New()
+	e1 := s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	e1.Cancel()
+	if got := s.Pending(); got != 1 {
+		t.Errorf("Pending = %d, want 1", got)
+	}
+}
+
+func TestRNGStreamsAreIndependentAndDeterministic(t *testing.T) {
+	a1 := RNG(7, "alpha").Int63()
+	a2 := RNG(7, "alpha").Int63()
+	b := RNG(7, "beta").Int63()
+	other := RNG(8, "alpha").Int63()
+	if a1 != a2 {
+		t.Error("same seed+stream should give identical streams")
+	}
+	if a1 == b {
+		t.Error("different streams should differ")
+	}
+	if a1 == other {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.Record(13*time.Second, "reminding", "Please use %s", "electronic-pot")
+	tl.Record(0, "user", "takes tea-leaf")
+	if tl.Len() != 2 {
+		t.Fatalf("Len = %d", tl.Len())
+	}
+	entries := tl.Entries()
+	if entries[0].At != 0 || entries[1].At != 13*time.Second {
+		t.Errorf("entries not sorted: %+v", entries)
+	}
+	out := tl.String()
+	if !strings.Contains(out, "electronic-pot") || !strings.Contains(out, "13.0s") {
+		t.Errorf("rendered timeline missing content:\n%s", out)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Error("Step on empty scheduler returned true")
+	}
+	e := s.At(time.Second, func() {})
+	e.Cancel()
+	if s.Step() {
+		t.Error("Step with only cancelled events returned true")
+	}
+}

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"fmt"
+
+	"coreda/internal/adl"
+	"coreda/internal/rl"
+)
+
+// multiPolicyVersion is the current MultiPolicyFile schema version.
+const multiPolicyVersion = 1
+
+// MultiPolicyFile serializes a multi-routine policy: the routine set and
+// one Q-table per routine.
+type MultiPolicyFile struct {
+	Version  int          `json:"version"`
+	User     string       `json:"user"`
+	Activity string       `json:"activity"`
+	Routines [][]uint16   `json:"routines"`
+	Policies []PolicyFile `json:"policies"`
+}
+
+// SaveMultiPolicy writes a multi-routine policy atomically. routines and
+// tables must be parallel slices.
+func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables []*rl.QTable) error {
+	if len(routines) != len(tables) {
+		return fmt.Errorf("store: %d routines but %d tables", len(routines), len(tables))
+	}
+	f := MultiPolicyFile{
+		Version:  multiPolicyVersion,
+		User:     user,
+		Activity: activity,
+	}
+	for i, r := range routines {
+		enc := make([]uint16, len(r))
+		for j, s := range r {
+			enc[j] = uint16(s)
+		}
+		f.Routines = append(f.Routines, enc)
+		f.Policies = append(f.Policies, PolicyFile{
+			Version:  policyVersion,
+			User:     user,
+			Activity: activity,
+			States:   tables[i].NumStates(),
+			Actions:  tables[i].NumActions(),
+			Q:        tables[i].Values(),
+		})
+	}
+	return writeJSON(path, f)
+}
+
+// LoadMultiPolicy reads and validates a multi-routine policy.
+func LoadMultiPolicy(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
+	var f MultiPolicyFile
+	if err := readJSON(path, &f); err != nil {
+		return MultiPolicyFile{}, nil, nil, err
+	}
+	if f.Version != multiPolicyVersion {
+		return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s has version %d, want %d", path, f.Version, multiPolicyVersion)
+	}
+	if len(f.Routines) != len(f.Policies) || len(f.Routines) == 0 {
+		return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s has %d routines and %d policies", path, len(f.Routines), len(f.Policies))
+	}
+	routines := make([]adl.Routine, len(f.Routines))
+	tables := make([]*rl.QTable, len(f.Policies))
+	for i, enc := range f.Routines {
+		r := make(adl.Routine, len(enc))
+		for j, s := range enc {
+			r[j] = adl.StepID(s)
+		}
+		routines[i] = r
+
+		p := f.Policies[i]
+		if p.States <= 0 || p.Actions <= 0 || len(p.Q) != p.States*p.Actions {
+			return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s: policy %d malformed", path, i)
+		}
+		t := rl.NewQTable(p.States, p.Actions, 0)
+		if err := t.SetValues(p.Q); err != nil {
+			return MultiPolicyFile{}, nil, nil, err
+		}
+		tables[i] = t
+	}
+	return f, routines, tables, nil
+}

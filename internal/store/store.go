@@ -1,0 +1,167 @@
+// Package store persists learned policies and user profiles as versioned
+// JSON files with atomic writes (temp file + rename), so a crash mid-save
+// never corrupts a user's learned routine.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"coreda/internal/adl"
+	"coreda/internal/rl"
+)
+
+// policyVersion is the current PolicyFile schema version.
+const policyVersion = 1
+
+// profileVersion is the current ProfileFile schema version.
+const profileVersion = 1
+
+// PolicyFile is the serialized form of one learned Q-table plus the
+// metadata needed to resume training.
+type PolicyFile struct {
+	Version  int       `json:"version"`
+	User     string    `json:"user"`
+	Activity string    `json:"activity"`
+	States   int       `json:"states"`
+	Actions  int       `json:"actions"`
+	Episodes int       `json:"episodes"`
+	Epsilon  float64   `json:"epsilon"`
+	Q        []float64 `json:"q"`
+}
+
+// SavePolicy writes a policy file atomically.
+func SavePolicy(path, user, activity string, table *rl.QTable, episodes int, epsilon float64) error {
+	f := PolicyFile{
+		Version:  policyVersion,
+		User:     user,
+		Activity: activity,
+		States:   table.NumStates(),
+		Actions:  table.NumActions(),
+		Episodes: episodes,
+		Epsilon:  epsilon,
+		Q:        table.Values(),
+	}
+	return writeJSON(path, f)
+}
+
+// LoadPolicy reads and validates a policy file, returning the metadata
+// and a reconstructed Q-table.
+func LoadPolicy(path string) (PolicyFile, *rl.QTable, error) {
+	var f PolicyFile
+	if err := readJSON(path, &f); err != nil {
+		return PolicyFile{}, nil, err
+	}
+	if f.Version != policyVersion {
+		return PolicyFile{}, nil, fmt.Errorf("store: policy %s has version %d, want %d", path, f.Version, policyVersion)
+	}
+	if f.States <= 0 || f.Actions <= 0 || len(f.Q) != f.States*f.Actions {
+		return PolicyFile{}, nil, fmt.Errorf("store: policy %s is malformed (%dx%d, %d values)", path, f.States, f.Actions, len(f.Q))
+	}
+	table := rl.NewQTable(f.States, f.Actions, 0)
+	if err := table.SetValues(f.Q); err != nil {
+		return PolicyFile{}, nil, err
+	}
+	return f, table, nil
+}
+
+// ProfileFile is the serialized form of a user profile: identity and the
+// personal routines learned or configured per activity.
+type ProfileFile struct {
+	Version  int                   `json:"version"`
+	Name     string                `json:"name"`
+	Severity float64               `json:"severity"`
+	Routines map[string][][]uint16 `json:"routines"` // activity -> routines -> StepIDs
+}
+
+// SaveProfile writes a profile file atomically.
+func SaveProfile(path, name string, severity float64, routines map[string][]adl.Routine) error {
+	f := ProfileFile{
+		Version:  profileVersion,
+		Name:     name,
+		Severity: severity,
+		Routines: make(map[string][][]uint16, len(routines)),
+	}
+	for activity, rs := range routines {
+		enc := make([][]uint16, len(rs))
+		for i, r := range rs {
+			steps := make([]uint16, len(r))
+			for j, s := range r {
+				steps[j] = uint16(s)
+			}
+			enc[i] = steps
+		}
+		f.Routines[activity] = enc
+	}
+	return writeJSON(path, f)
+}
+
+// LoadProfile reads and validates a profile file, returning the decoded
+// routines.
+func LoadProfile(path string) (ProfileFile, map[string][]adl.Routine, error) {
+	var f ProfileFile
+	if err := readJSON(path, &f); err != nil {
+		return ProfileFile{}, nil, err
+	}
+	if f.Version != profileVersion {
+		return ProfileFile{}, nil, fmt.Errorf("store: profile %s has version %d, want %d", path, f.Version, profileVersion)
+	}
+	routines := make(map[string][]adl.Routine, len(f.Routines))
+	for activity, encs := range f.Routines {
+		rs := make([]adl.Routine, len(encs))
+		for i, enc := range encs {
+			r := make(adl.Routine, len(enc))
+			for j, s := range enc {
+				r[j] = adl.StepID(s)
+			}
+			rs[i] = r
+		}
+		routines[activity] = rs
+	}
+	return f, routines, nil
+}
+
+// writeJSON marshals v and writes it atomically: to a temp file in the
+// target directory, fsynced, then renamed over the destination.
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: marshal %s: %w", path, err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after successful rename
+
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: read: %w", err)
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("store: parse %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"coreda/internal/adl"
+	"coreda/internal/rl"
+)
+
+func TestPolicyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tanaka-tea.json")
+
+	table := rl.NewQTable(25, 8, 0)
+	table.Set(3, 2, 123.5)
+	if err := SavePolicy(path, "tanaka", "tea-making", table, 42, 0.07); err != nil {
+		t.Fatal(err)
+	}
+	f, loaded, err := LoadPolicy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.User != "tanaka" || f.Activity != "tea-making" || f.Episodes != 42 || f.Epsilon != 0.07 {
+		t.Errorf("metadata = %+v", f)
+	}
+	if loaded.Get(3, 2) != 123.5 {
+		t.Errorf("Q(3,2) = %v", loaded.Get(3, 2))
+	}
+	if loaded.MaxAbsDiff(table) != 0 {
+		t.Error("table changed across round trip")
+	}
+}
+
+func TestLoadPolicyRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+
+	missing := filepath.Join(dir, "missing.json")
+	if _, _, err := LoadPolicy(missing); err == nil {
+		t.Error("missing file accepted")
+	}
+
+	garbage := filepath.Join(dir, "garbage.json")
+	os.WriteFile(garbage, []byte("{not json"), 0o644)
+	if _, _, err := LoadPolicy(garbage); err == nil {
+		t.Error("garbage accepted")
+	}
+
+	badVersion := filepath.Join(dir, "badversion.json")
+	os.WriteFile(badVersion, []byte(`{"version":99,"states":1,"actions":1,"q":[0]}`), 0o644)
+	if _, _, err := LoadPolicy(badVersion); err == nil {
+		t.Error("wrong version accepted")
+	}
+
+	badShape := filepath.Join(dir, "badshape.json")
+	os.WriteFile(badShape, []byte(`{"version":1,"states":2,"actions":2,"q":[0]}`), 0o644)
+	if _, _, err := LoadPolicy(badShape); err == nil {
+		t.Error("mismatched shape accepted")
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tanaka.json")
+
+	tea := adl.TeaMaking()
+	dress := adl.Dressing()
+	r1 := dress.CanonicalRoutine()
+	r2 := r1.Clone()
+	r2[2], r2[3] = r2[3], r2[2]
+	in := map[string][]adl.Routine{
+		tea.Name:   {tea.CanonicalRoutine()},
+		dress.Name: {r1, r2},
+	}
+	if err := SaveProfile(path, "Mr. Tanaka", 0.4, in); err != nil {
+		t.Fatal(err)
+	}
+	f, routines, err := LoadProfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "Mr. Tanaka" || f.Severity != 0.4 {
+		t.Errorf("metadata = %+v", f)
+	}
+	if len(routines[dress.Name]) != 2 || !routines[dress.Name][1].Equal(r2) {
+		t.Errorf("dressing routines = %v", routines[dress.Name])
+	}
+	if !routines[tea.Name][0].Equal(tea.CanonicalRoutine()) {
+		t.Errorf("tea routine = %v", routines[tea.Name])
+	}
+}
+
+func TestLoadProfileRejectsBadVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	os.WriteFile(path, []byte(`{"version":0,"name":"x"}`), 0o644)
+	if _, _, err := LoadProfile(path); err == nil {
+		t.Error("wrong version accepted")
+	}
+}
+
+func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pol.json")
+	table := rl.NewQTable(2, 2, 0)
+	for i := 0; i < 5; i++ {
+		if err := SavePolicy(path, "u", "a", table, i, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("directory contains %v, want only pol.json", names)
+	}
+}
+
+func TestOverwriteIsAtomicReplacement(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pol.json")
+	t1 := rl.NewQTable(1, 1, 1)
+	t2 := rl.NewQTable(1, 1, 2)
+	if err := SavePolicy(path, "u", "a", t1, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePolicy(path, "u", "a", t2, 2, 0); err != nil {
+		t.Fatal(err)
+	}
+	f, table, err := LoadPolicy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Episodes != 2 || table.Get(0, 0) != 2 {
+		t.Errorf("loaded old contents: %+v", f)
+	}
+}
+
+func TestMultiPolicyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "multi.json")
+
+	dress := adl.Dressing()
+	r1 := dress.CanonicalRoutine()
+	r2 := adl.Routine{r1[2], r1[0], r1[1], r1[3]}
+	t1 := rl.NewQTable(25, 8, 0)
+	t1.Set(1, 2, 7)
+	t2 := rl.NewQTable(25, 8, 0)
+	t2.Set(3, 4, 9)
+
+	if err := SaveMultiPolicy(path, "u", dress.Name, []adl.Routine{r1, r2}, []*rl.QTable{t1, t2}); err != nil {
+		t.Fatal(err)
+	}
+	f, routines, tables, err := LoadMultiPolicy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Activity != dress.Name || f.User != "u" {
+		t.Errorf("metadata = %+v", f)
+	}
+	if len(routines) != 2 || !routines[1].Equal(r2) {
+		t.Errorf("routines = %v", routines)
+	}
+	if tables[0].Get(1, 2) != 7 || tables[1].Get(3, 4) != 9 {
+		t.Error("tables lost values")
+	}
+}
+
+func TestMultiPolicyValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	r := adl.TeaMaking().CanonicalRoutine()
+	if err := SaveMultiPolicy(path, "u", "a", []adl.Routine{r}, nil); err == nil {
+		t.Error("mismatched slice lengths accepted")
+	}
+	os.WriteFile(path, []byte(`{"version":9}`), 0o644)
+	if _, _, _, err := LoadMultiPolicy(path); err == nil {
+		t.Error("bad version accepted")
+	}
+	os.WriteFile(path, []byte(`{"version":1,"routines":[],"policies":[]}`), 0o644)
+	if _, _, _, err := LoadMultiPolicy(path); err == nil {
+		t.Error("empty multi-policy accepted")
+	}
+}

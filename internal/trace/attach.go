@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"time"
+
+	"coreda"
+)
+
+// Attach wires a Recorder into a SystemConfig's callbacks (chaining any
+// handlers already installed) so every session the system runs is logged.
+// Call it before coreda.NewSystem / coreda.NewSimulation. now supplies
+// the current virtual time (pass the scheduler's Now method).
+func Attach(r *Recorder, cfg *coreda.SystemConfig, activity, user string, now func() time.Duration) {
+	prevStart := cfg.OnSessionStart
+	cfg.OnSessionStart = func(m coreda.Mode) {
+		r.SessionStart(now(), activity, user)
+		if prevStart != nil {
+			prevStart(m)
+		}
+	}
+	prevStep := cfg.OnStep
+	cfg.OnStep = func(e coreda.StepEvent) {
+		r.Step(e.At, e.Step, e.Idle)
+		if prevStep != nil {
+			prevStep(e)
+		}
+	}
+	prevReminder := cfg.OnReminder
+	cfg.OnReminder = func(rem coreda.Reminder) {
+		r.Reminder(rem.At, rem.Tool, rem.Level.String(), rem.Trigger.String(), rem.Text)
+		if prevReminder != nil {
+			prevReminder(rem)
+		}
+	}
+	prevPraise := cfg.OnPraise
+	cfg.OnPraise = func(p coreda.Praise) {
+		r.Praise(p.At, p.Text)
+		if prevPraise != nil {
+			prevPraise(p)
+		}
+	}
+	prevComplete := cfg.OnComplete
+	cfg.OnComplete = func() {
+		r.SessionEnd(now())
+		if prevComplete != nil {
+			prevComplete()
+		}
+	}
+}

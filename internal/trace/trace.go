@@ -1,0 +1,181 @@
+// Package trace records CoReDA sessions as JSON-lines event logs and
+// replays them: a recorded household's tool-usage history becomes
+// training data (the paper's "tool usage history data" store in
+// Figure 2), and recorded reminders make sessions auditable — a caregiver
+// can review exactly what the system told the user and when.
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"coreda/internal/adl"
+)
+
+// Kind labels one record.
+type Kind string
+
+// Record kinds.
+const (
+	KindSessionStart Kind = "session-start"
+	KindSessionEnd   Kind = "session-end"
+	KindStep         Kind = "step"
+	KindIdle         Kind = "idle"
+	KindReminder     Kind = "reminder"
+	KindPraise       Kind = "praise"
+)
+
+// Record is one logged event. Times are seconds since the log's origin
+// (the recorder's creation).
+type Record struct {
+	T        float64 `json:"t"`
+	Kind     Kind    `json:"kind"`
+	Session  int     `json:"session,omitempty"`
+	Activity string  `json:"activity,omitempty"`
+	User     string  `json:"user,omitempty"`
+	Step     uint16  `json:"step,omitempty"`
+	Tool     uint16  `json:"tool,omitempty"`
+	Level    string  `json:"level,omitempty"`
+	Trigger  string  `json:"trigger,omitempty"`
+	Text     string  `json:"text,omitempty"`
+}
+
+// Recorder appends records to a writer as JSON lines. It is not safe for
+// concurrent use; in CoReDA all recording happens on the scheduler
+// goroutine.
+type Recorder struct {
+	enc     *json.Encoder
+	session int
+	err     error
+}
+
+// NewRecorder writes JSON lines to w.
+func NewRecorder(w io.Writer) *Recorder {
+	return &Recorder{enc: json.NewEncoder(w)}
+}
+
+// Err returns the first write error encountered, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Write appends one record.
+func (r *Recorder) Write(rec Record) {
+	if r.err != nil {
+		return
+	}
+	r.err = r.enc.Encode(rec)
+}
+
+// SessionStart logs a session boundary and returns its session number.
+func (r *Recorder) SessionStart(at time.Duration, activity, user string) int {
+	r.session++
+	r.Write(Record{T: at.Seconds(), Kind: KindSessionStart, Session: r.session, Activity: activity, User: user})
+	return r.session
+}
+
+// SessionEnd logs the end of the current session.
+func (r *Recorder) SessionEnd(at time.Duration) {
+	r.Write(Record{T: at.Seconds(), Kind: KindSessionEnd, Session: r.session})
+}
+
+// Step logs one extracted step event (idle pseudo-steps get KindIdle).
+func (r *Recorder) Step(at time.Duration, step adl.StepID, idle bool) {
+	kind := KindStep
+	if idle {
+		kind = KindIdle
+	}
+	r.Write(Record{T: at.Seconds(), Kind: kind, Session: r.session, Step: uint16(step)})
+}
+
+// Reminder logs a delivered reminder.
+func (r *Recorder) Reminder(at time.Duration, tool adl.ToolID, level, trigger, text string) {
+	r.Write(Record{T: at.Seconds(), Kind: KindReminder, Session: r.session, Tool: uint16(tool), Level: level, Trigger: trigger, Text: text})
+}
+
+// Praise logs a praise message.
+func (r *Recorder) Praise(at time.Duration, text string) {
+	r.Write(Record{T: at.Seconds(), Kind: KindPraise, Session: r.session, Text: text})
+}
+
+// Read parses a JSON-lines log.
+func Read(rd io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return out, nil
+}
+
+// Episodes extracts, per activity, the step sequences of every recorded
+// session (idle pseudo-steps excluded — they are trigger events, not
+// routine progress). Sessions without steps are dropped.
+func Episodes(records []Record) map[string][][]adl.StepID {
+	out := make(map[string][][]adl.StepID)
+	var activity string
+	var steps []adl.StepID
+	flush := func() {
+		if activity != "" && len(steps) > 0 {
+			out[activity] = append(out[activity], steps)
+		}
+		steps = nil
+	}
+	for _, rec := range records {
+		switch rec.Kind {
+		case KindSessionStart:
+			flush()
+			activity = rec.Activity
+		case KindSessionEnd:
+			flush()
+			activity = ""
+		case KindStep:
+			steps = append(steps, adl.StepID(rec.Step))
+		}
+	}
+	flush()
+	return out
+}
+
+// Stats summarizes a log for reporting.
+type Stats struct {
+	Sessions  int
+	Steps     int
+	Idles     int
+	Reminders int
+	Praises   int
+}
+
+// Summarize tallies a record set.
+func Summarize(records []Record) Stats {
+	var s Stats
+	for _, rec := range records {
+		switch rec.Kind {
+		case KindSessionStart:
+			s.Sessions++
+		case KindStep:
+			s.Steps++
+		case KindIdle:
+			s.Idles++
+		case KindReminder:
+			s.Reminders++
+		case KindPraise:
+			s.Praises++
+		}
+	}
+	return s
+}

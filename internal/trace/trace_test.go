@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRecorder(&buf)
+	r.SessionStart(0, "tea-making", "Mr. Tanaka")
+	r.Step(2*time.Second, adl.StepOf(adl.ToolTeaBox), false)
+	r.Step(30*time.Second, adl.StepIdle, true)
+	r.Reminder(31*time.Second, adl.ToolPot, "minimal", "idle", "Please use electronic pot.")
+	r.Step(35*time.Second, adl.StepOf(adl.ToolPot), false)
+	r.Praise(36*time.Second, "Excellent!")
+	r.SessionEnd(40 * time.Second)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 7 {
+		t.Fatalf("records = %d", len(records))
+	}
+	s := Summarize(records)
+	if s.Sessions != 1 || s.Steps != 2 || s.Idles != 1 || s.Reminders != 1 || s.Praises != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	eps := Episodes(records)
+	if len(eps["tea-making"]) != 1 {
+		t.Fatalf("episodes = %+v", eps)
+	}
+	got := eps["tea-making"][0]
+	if len(got) != 2 || got[0] != adl.StepOf(adl.ToolTeaBox) || got[1] != adl.StepOf(adl.ToolPot) {
+		t.Errorf("episode = %v", got)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	records, err := Read(strings.NewReader("\n\n"))
+	if err != nil || len(records) != 0 {
+		t.Errorf("blank lines: %v, %d records", err, len(records))
+	}
+}
+
+func TestEpisodesMultipleSessionsAndActivities(t *testing.T) {
+	records := []Record{
+		{Kind: KindSessionStart, Activity: "a"},
+		{Kind: KindStep, Step: 1},
+		{Kind: KindStep, Step: 2},
+		{Kind: KindSessionEnd},
+		{Kind: KindSessionStart, Activity: "b"},
+		{Kind: KindStep, Step: 9},
+		// no explicit end: next session-start flushes
+		{Kind: KindSessionStart, Activity: "a"},
+		{Kind: KindStep, Step: 2},
+		{Kind: KindStep, Step: 1},
+	}
+	eps := Episodes(records)
+	if len(eps["a"]) != 2 || len(eps["b"]) != 1 {
+		t.Fatalf("episodes = %+v", eps)
+	}
+	if eps["a"][1][0] != 2 {
+		t.Errorf("second a episode = %v", eps["a"][1])
+	}
+}
+
+func TestEpisodesDropEmptySessions(t *testing.T) {
+	records := []Record{
+		{Kind: KindSessionStart, Activity: "a"},
+		{Kind: KindIdle},
+		{Kind: KindSessionEnd},
+	}
+	if eps := Episodes(records); len(eps["a"]) != 0 {
+		t.Errorf("empty session kept: %+v", eps)
+	}
+}
+
+func TestAttachRecordsFullClosedLoopSession(t *testing.T) {
+	activity := coreda.TeaMaking()
+	user := coreda.NewPersona("Mr. Tanaka", 0)
+	if err := user.SetRoutine(activity, activity.CanonicalRoutine()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	cfg := coreda.SimulationConfig{Activity: activity, Persona: user, Seed: 11}
+	// Attach needs the scheduler's clock, which exists only after the
+	// simulation is built; bridge with an indirection.
+	var now func() time.Duration
+	Attach(rec, &cfg.System, activity.Name, user.Name, func() time.Duration { return now() })
+
+	sim, err := coreda.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = sim.Sched.Now
+
+	if _, err := sim.RunTraining(5, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	records, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(records)
+	if sum.Sessions != 5 {
+		t.Errorf("sessions = %d", sum.Sessions)
+	}
+	if sum.Steps < 15 {
+		t.Errorf("steps = %d, want ~20", sum.Steps)
+	}
+
+	// The recorded episodes train a fresh planner to the same routine.
+	eps := Episodes(records)["tea-making"]
+	if len(eps) == 0 {
+		t.Fatal("no recorded episodes")
+	}
+	sys, err := coreda.NewSystem(coreda.SystemConfig{Activity: activity}, coreda.NewScheduler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var complete [][]coreda.StepID
+	for _, ep := range eps {
+		if len(ep) == len(activity.Steps) {
+			complete = append(complete, ep)
+		}
+	}
+	for i := 0; i < 40; i++ { // cycle the few recorded episodes
+		if err := sys.TrainEpisodes(complete); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := sys.Planner().Evaluate([][]coreda.StepID{activity.CanonicalRoutine()}); got != 1 {
+		t.Errorf("replay-trained precision = %v", got)
+	}
+}

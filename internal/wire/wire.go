@@ -1,0 +1,400 @@
+// Package wire defines the binary packet format spoken between (simulated)
+// PAVENET sensor nodes and the CoReDA gateway.
+//
+// The real PAVENET module carries a ChipCon CC1000 radio with small frames;
+// the format here mirrors that constraint: a one-byte magic, a version, a
+// packet type, a length-prefixed payload of at most 64 bytes and a CRC-16
+// trailer. The same encoding is used over the in-memory radio simulation
+// and over real TCP links (cmd/coreda-server / cmd/coreda-node).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Magic is the start-of-frame marker.
+const Magic byte = 0xC5
+
+// Version is the protocol version encoded in every frame.
+const Version byte = 1
+
+// MaxPayload is the largest payload a frame may carry (CC1000-class radios
+// use small MTUs).
+const MaxPayload = 64
+
+// Type identifies the kind of packet carried in a frame.
+type Type byte
+
+// Packet types.
+const (
+	// TypeUsageStart is sent by a node the moment the 3-of-10 threshold
+	// rule fires: the tool has started being used.
+	TypeUsageStart Type = 0x01
+	// TypeUsageEnd is sent when usage ceases; it carries the usage
+	// duration for the statistics that drive the idle timeout.
+	TypeUsageEnd Type = 0x02
+	// TypeLEDCommand is sent by the gateway to a node to drive the
+	// reminder LEDs (green = use this tool, red = wrong tool).
+	TypeLEDCommand Type = 0x03
+	// TypeAck acknowledges a command.
+	TypeAck Type = 0x04
+	// TypeHeartbeat is sent periodically by nodes so the gateway can
+	// track liveness.
+	TypeHeartbeat Type = 0x05
+)
+
+// String returns the packet type name.
+func (t Type) String() string {
+	switch t {
+	case TypeUsageStart:
+		return "usage-start"
+	case TypeUsageEnd:
+		return "usage-end"
+	case TypeLEDCommand:
+		return "led-command"
+	case TypeAck:
+		return "ack"
+	case TypeHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("Type(0x%02x)", byte(t))
+	}
+}
+
+// Errors returned by the codec.
+var (
+	ErrBadMagic    = errors.New("wire: bad frame magic")
+	ErrBadVersion  = errors.New("wire: unsupported protocol version")
+	ErrBadCRC      = errors.New("wire: CRC mismatch")
+	ErrShortFrame  = errors.New("wire: frame truncated")
+	ErrOversized   = errors.New("wire: payload exceeds MaxPayload")
+	ErrUnknownType = errors.New("wire: unknown packet type")
+	ErrBadPayload  = errors.New("wire: payload length does not match packet type")
+)
+
+// Packet is implemented by every message that can travel in a frame.
+type Packet interface {
+	// Type returns the packet's wire type.
+	Type() Type
+	// payload serializes the packet body (without frame header/CRC).
+	payload() []byte
+	// parse deserializes the packet body.
+	parse(b []byte) error
+}
+
+// LEDColor selects one of the node's reminder LEDs.
+type LEDColor byte
+
+// LED colors used by the reminding subsystem.
+const (
+	LEDGreen LEDColor = 1 // "use this tool"
+	LEDRed   LEDColor = 2 // "this tool is wrong"
+)
+
+// String returns the color name.
+func (c LEDColor) String() string {
+	switch c {
+	case LEDGreen:
+		return "green"
+	case LEDRed:
+		return "red"
+	default:
+		return fmt.Sprintf("LEDColor(%d)", byte(c))
+	}
+}
+
+// UsageStart reports that a tool has started being used.
+type UsageStart struct {
+	UID       uint16 // node unique ID == tool ID
+	Seq       uint16 // per-node sequence number
+	Sensor    uint8  // adl.SensorKind that triggered
+	NodeTime  uint32 // node-local milliseconds since boot
+	Hits      uint8  // how many of the last 10 samples exceeded threshold
+	Threshold uint16 // configured threshold, fixed-point x100
+}
+
+// Type implements Packet.
+func (*UsageStart) Type() Type { return TypeUsageStart }
+
+func (p *UsageStart) payload() []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:], p.UID)
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	b[4] = p.Sensor
+	binary.BigEndian.PutUint32(b[5:], p.NodeTime)
+	b[9] = p.Hits
+	binary.BigEndian.PutUint16(b[10:], p.Threshold)
+	return b
+}
+
+func (p *UsageStart) parse(b []byte) error {
+	if len(b) != 12 {
+		return ErrBadPayload
+	}
+	p.UID = binary.BigEndian.Uint16(b[0:])
+	p.Seq = binary.BigEndian.Uint16(b[2:])
+	p.Sensor = b[4]
+	p.NodeTime = binary.BigEndian.Uint32(b[5:])
+	p.Hits = b[9]
+	p.Threshold = binary.BigEndian.Uint16(b[10:])
+	return nil
+}
+
+// UsageEnd reports that usage of a tool has ceased.
+type UsageEnd struct {
+	UID        uint16
+	Seq        uint16
+	NodeTime   uint32 // node-local milliseconds since boot at end of usage
+	DurationMs uint32 // how long the tool was in use
+}
+
+// Type implements Packet.
+func (*UsageEnd) Type() Type { return TypeUsageEnd }
+
+func (p *UsageEnd) payload() []byte {
+	b := make([]byte, 12)
+	binary.BigEndian.PutUint16(b[0:], p.UID)
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	binary.BigEndian.PutUint32(b[4:], p.NodeTime)
+	binary.BigEndian.PutUint32(b[8:], p.DurationMs)
+	return b
+}
+
+func (p *UsageEnd) parse(b []byte) error {
+	if len(b) != 12 {
+		return ErrBadPayload
+	}
+	p.UID = binary.BigEndian.Uint16(b[0:])
+	p.Seq = binary.BigEndian.Uint16(b[2:])
+	p.NodeTime = binary.BigEndian.Uint32(b[4:])
+	p.DurationMs = binary.BigEndian.Uint32(b[8:])
+	return nil
+}
+
+// LEDCommand drives a node's reminder LEDs.
+type LEDCommand struct {
+	UID      uint16
+	Seq      uint16
+	Color    LEDColor
+	Blinks   uint8  // number of blinks; 0 turns the LED off
+	PeriodMs uint16 // blink period
+}
+
+// Type implements Packet.
+func (*LEDCommand) Type() Type { return TypeLEDCommand }
+
+func (p *LEDCommand) payload() []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint16(b[0:], p.UID)
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	b[4] = byte(p.Color)
+	b[5] = p.Blinks
+	binary.BigEndian.PutUint16(b[6:], p.PeriodMs)
+	return b
+}
+
+func (p *LEDCommand) parse(b []byte) error {
+	if len(b) != 8 {
+		return ErrBadPayload
+	}
+	p.UID = binary.BigEndian.Uint16(b[0:])
+	p.Seq = binary.BigEndian.Uint16(b[2:])
+	p.Color = LEDColor(b[4])
+	p.Blinks = b[5]
+	p.PeriodMs = binary.BigEndian.Uint16(b[6:])
+	return nil
+}
+
+// Ack acknowledges receipt of a command.
+type Ack struct {
+	UID uint16
+	Seq uint16 // sequence number being acknowledged
+}
+
+// Type implements Packet.
+func (*Ack) Type() Type { return TypeAck }
+
+func (p *Ack) payload() []byte {
+	b := make([]byte, 4)
+	binary.BigEndian.PutUint16(b[0:], p.UID)
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	return b
+}
+
+func (p *Ack) parse(b []byte) error {
+	if len(b) != 4 {
+		return ErrBadPayload
+	}
+	p.UID = binary.BigEndian.Uint16(b[0:])
+	p.Seq = binary.BigEndian.Uint16(b[2:])
+	return nil
+}
+
+// Heartbeat is a periodic liveness beacon.
+type Heartbeat struct {
+	UID      uint16
+	Seq      uint16
+	UptimeMs uint32
+	Battery  uint8 // percent
+}
+
+// Type implements Packet.
+func (*Heartbeat) Type() Type { return TypeHeartbeat }
+
+func (p *Heartbeat) payload() []byte {
+	b := make([]byte, 9)
+	binary.BigEndian.PutUint16(b[0:], p.UID)
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	binary.BigEndian.PutUint32(b[4:], p.UptimeMs)
+	b[8] = p.Battery
+	return b
+}
+
+func (p *Heartbeat) parse(b []byte) error {
+	if len(b) != 9 {
+		return ErrBadPayload
+	}
+	p.UID = binary.BigEndian.Uint16(b[0:])
+	p.Seq = binary.BigEndian.Uint16(b[2:])
+	p.UptimeMs = binary.BigEndian.Uint32(b[4:])
+	p.Battery = b[8]
+	return nil
+}
+
+// newPacket allocates an empty packet of the given type.
+func newPacket(t Type) (Packet, error) {
+	switch t {
+	case TypeUsageStart:
+		return &UsageStart{}, nil
+	case TypeUsageEnd:
+		return &UsageEnd{}, nil
+	case TypeLEDCommand:
+		return &LEDCommand{}, nil
+	case TypeAck:
+		return &Ack{}, nil
+	case TypeHeartbeat:
+		return &Heartbeat{}, nil
+	default:
+		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, byte(t))
+	}
+}
+
+// Encode serializes a packet into a complete frame:
+//
+//	magic(1) version(1) type(1) len(1) payload(len) crc16(2)
+//
+// The CRC covers version, type, length and payload.
+func Encode(p Packet) ([]byte, error) {
+	body := p.payload()
+	if len(body) > MaxPayload {
+		return nil, ErrOversized
+	}
+	frame := make([]byte, 0, 6+len(body))
+	frame = append(frame, Magic, Version, byte(p.Type()), byte(len(body)))
+	frame = append(frame, body...)
+	crc := CRC16(frame[1:])
+	frame = binary.BigEndian.AppendUint16(frame, crc)
+	return frame, nil
+}
+
+// Decode parses one complete frame produced by Encode.
+func Decode(frame []byte) (Packet, error) {
+	if len(frame) < 6 {
+		return nil, ErrShortFrame
+	}
+	if frame[0] != Magic {
+		return nil, ErrBadMagic
+	}
+	if frame[1] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[1])
+	}
+	n := int(frame[3])
+	if n > MaxPayload {
+		return nil, ErrOversized
+	}
+	if len(frame) != 6+n {
+		return nil, ErrShortFrame
+	}
+	want := binary.BigEndian.Uint16(frame[4+n:])
+	if got := CRC16(frame[1 : 4+n]); got != want {
+		return nil, fmt.Errorf("%w: got 0x%04x want 0x%04x", ErrBadCRC, got, want)
+	}
+	p, err := newPacket(Type(frame[2]))
+	if err != nil {
+		return nil, err
+	}
+	if err := p.parse(frame[4 : 4+n]); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Writer writes frames to an underlying byte stream (e.g. a TCP
+// connection). It is not safe for concurrent use; wrap with a mutex if
+// multiple goroutines share it.
+type Writer struct {
+	w io.Writer
+}
+
+// NewWriter returns a frame writer over w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WritePacket encodes and writes one packet.
+func (w *Writer) WritePacket(p Packet) error {
+	frame, err := Encode(p)
+	if err != nil {
+		return err
+	}
+	_, err = w.w.Write(frame)
+	return err
+}
+
+// Reader reads frames from an underlying byte stream, resynchronizing on
+// the magic byte after corruption.
+type Reader struct {
+	r   io.Reader
+	buf [6 + MaxPayload]byte
+}
+
+// NewReader returns a frame reader over r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadPacket reads the next valid frame, skipping garbage bytes until a
+// frame parses. It returns the underlying stream error (e.g. io.EOF) when
+// the stream ends.
+func (r *Reader) ReadPacket() (Packet, error) {
+	for {
+		// Hunt for the magic byte.
+		if err := r.readFull(r.buf[:1]); err != nil {
+			return nil, err
+		}
+		if r.buf[0] != Magic {
+			continue
+		}
+		// Header: version, type, length.
+		if err := r.readFull(r.buf[1:4]); err != nil {
+			return nil, err
+		}
+		n := int(r.buf[3])
+		if n > MaxPayload {
+			continue // implausible length: resync
+		}
+		if err := r.readFull(r.buf[4 : 6+n]); err != nil {
+			return nil, err
+		}
+		p, err := Decode(r.buf[:6+n])
+		if err != nil {
+			// Corrupt frame: resync on the next magic byte.
+			continue
+		}
+		return p, nil
+	}
+}
+
+func (r *Reader) readFull(b []byte) error {
+	_, err := io.ReadFull(r.r, b)
+	return err
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func samplePackets() []Packet {
+	return []Packet{
+		&UsageStart{UID: 21, Seq: 7, Sensor: 1, NodeTime: 123456, Hits: 4, Threshold: 150},
+		&UsageEnd{UID: 21, Seq: 8, NodeTime: 125456, DurationMs: 2000},
+		&LEDCommand{UID: 24, Seq: 3, Color: LEDGreen, Blinks: 5, PeriodMs: 250},
+		&Ack{UID: 24, Seq: 3},
+		&Heartbeat{UID: 11, Seq: 99, UptimeMs: 3600000, Battery: 87},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, p := range samplePackets() {
+		frame, err := Encode(p)
+		if err != nil {
+			t.Fatalf("%v: Encode: %v", p.Type(), err)
+		}
+		got, err := Decode(frame)
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", p.Type(), err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("%v: round trip = %+v, want %+v", p.Type(), got, p)
+		}
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := CRC16([]byte("123456789")); got != 0x29B1 {
+		t.Errorf("CRC16 = 0x%04X, want 0x29B1", got)
+	}
+	if got := CRC16(nil); got != 0xFFFF {
+		t.Errorf("CRC16(nil) = 0x%04X, want 0xFFFF", got)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	frame, err := Encode(&Ack{UID: 1, Seq: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr error
+	}{
+		{"short", func(f []byte) []byte { return f[:3] }, ErrShortFrame},
+		{"bad magic", func(f []byte) []byte { f[0] = 0x00; return f }, ErrBadMagic},
+		{"bad version", func(f []byte) []byte { f[1] = 99; return f }, ErrBadVersion},
+		{"flipped payload bit", func(f []byte) []byte { f[5] ^= 0x01; return f }, ErrBadCRC},
+		{"flipped crc bit", func(f []byte) []byte { f[len(f)-1] ^= 0x01; return f }, ErrBadCRC},
+		{"truncated payload", func(f []byte) []byte { return f[:len(f)-1] }, ErrShortFrame},
+		{"unknown type", func(f []byte) []byte {
+			f[2] = 0x7F
+			// Re-stamp the CRC so the type check is what fails.
+			crc := CRC16(f[1 : len(f)-2])
+			f[len(f)-2] = byte(crc >> 8)
+			f[len(f)-1] = byte(crc)
+			return f
+		}, ErrUnknownType},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := append([]byte(nil), frame...)
+			_, err := Decode(tt.mutate(f))
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("Decode error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsWrongPayloadLength(t *testing.T) {
+	// Build a frame whose declared length is valid but does not match the
+	// packet type's fixed payload size.
+	frame := []byte{Magic, Version, byte(TypeAck), 2, 0xAA, 0xBB}
+	crc := CRC16(frame[1:])
+	frame = append(frame, byte(crc>>8), byte(crc))
+	_, err := Decode(frame)
+	if !errors.Is(err, ErrBadPayload) {
+		t.Errorf("Decode error = %v, want ErrBadPayload", err)
+	}
+}
+
+func TestReaderWriterStream(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := samplePackets()
+	for _, p := range want {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatalf("WritePacket: %v", err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, wantP := range want {
+		got, err := r.ReadPacket()
+		if err != nil {
+			t.Fatalf("ReadPacket %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, wantP) {
+			t.Errorf("packet %d = %+v, want %+v", i, got, wantP)
+		}
+	}
+	if _, err := r.ReadPacket(); !errors.Is(err, io.EOF) {
+		t.Errorf("after stream end: %v, want EOF", err)
+	}
+}
+
+func TestReaderResynchronizesAfterGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	// Garbage, including a fake magic byte followed by junk.
+	buf.Write([]byte{0x00, 0x01, Magic, 0xFF, 0xFF, 0xFF})
+	w := NewWriter(&buf)
+	want := &Heartbeat{UID: 5, Seq: 1, UptimeMs: 1000, Battery: 50}
+	if err := w.WritePacket(want); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadPacket()
+	if err != nil {
+		t.Fatalf("ReadPacket: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestReaderSkipsCorruptFrameThenRecovers(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	first, _ := Encode(&Ack{UID: 1, Seq: 1})
+	first[5] ^= 0xFF // corrupt payload -> CRC failure
+	buf.Write(first)
+	want := &Ack{UID: 2, Seq: 2}
+	if err := w.WritePacket(want); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	got, err := r.ReadPacket()
+	if err != nil {
+		t.Fatalf("ReadPacket: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	// Property: any UsageStart round-trips bit-exactly.
+	f := func(uid, seq uint16, sensor uint8, nodeTime uint32, hits uint8, threshold uint16) bool {
+		in := &UsageStart{UID: uid, Seq: seq, Sensor: sensor, NodeTime: nodeTime, Hits: hits, Threshold: threshold}
+		frame, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeNeverPanicsOnRandomBytes(t *testing.T) {
+	// Property: Decode returns an error (never panics) on arbitrary input.
+	f := func(b []byte) bool {
+		p, err := Decode(b)
+		return p != nil || err != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeAndColorStrings(t *testing.T) {
+	if TypeUsageStart.String() != "usage-start" || TypeLEDCommand.String() != "led-command" {
+		t.Error("type strings")
+	}
+	if Type(0xEE).String() == "" {
+		t.Error("unknown type string empty")
+	}
+	if LEDGreen.String() != "green" || LEDRed.String() != "red" {
+		t.Error("color strings")
+	}
+	if LEDColor(9).String() == "" {
+		t.Error("unknown color string empty")
+	}
+}
+
+func TestEncodedFrameLayout(t *testing.T) {
+	p := &Ack{UID: 0x1234, Seq: 0x5678}
+	frame, err := Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frame[0] != Magic || frame[1] != Version || frame[2] != byte(TypeAck) || frame[3] != 4 {
+		t.Errorf("header = % x", frame[:4])
+	}
+	if frame[4] != 0x12 || frame[5] != 0x34 || frame[6] != 0x56 || frame[7] != 0x78 {
+		t.Errorf("payload = % x, want big-endian uid/seq", frame[4:8])
+	}
+	if len(frame) != 10 {
+		t.Errorf("frame length = %d, want 10", len(frame))
+	}
+}

@@ -1,0 +1,114 @@
+package coreda_test
+
+// pipeline_test exercises the full product loop a deployment would run:
+// live closed-loop sessions are recorded to a trace, the trace feeds a
+// caregiver report, and the recorded history retrains a fresh policy that
+// matches the original.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"coreda"
+	"coreda/internal/report"
+	"coreda/internal/trace"
+)
+
+func TestFullPipelineRecordReportRetrain(t *testing.T) {
+	activity := coreda.TeaMaking()
+	user := coreda.NewPersona("Mr. Tanaka", 0.4)
+	user.ComplyMinimal, user.ComplySpecific = 1, 1
+	if err := user.SetRoutine(activity, activity.CanonicalRoutine()); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	rec := trace.NewRecorder(&buf)
+	cfg := coreda.SimulationConfig{Activity: activity, Persona: user, Seed: 21}
+	var now func() time.Duration
+	trace.Attach(rec, &cfg.System, activity.Name, user.Name, func() time.Duration {
+		if now == nil {
+			return 0
+		}
+		return now()
+	})
+	sim, err := coreda.NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = sim.Sched.Now
+
+	// Phase 1: learn silently; phase 2: assist with errors.
+	if _, err := sim.RunTraining(50, 5*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	assisted := 0
+	for i := 0; i < 10; i++ {
+		res, err := sim.RunSession(coreda.ModeAssist, 10*time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Completed {
+			assisted++
+		}
+	}
+	if assisted == 0 {
+		t.Fatal("no assisted sessions completed")
+	}
+	if err := rec.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The trace is readable and contains the whole history.
+	records, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := trace.Summarize(records)
+	if sum.Sessions != 60 {
+		t.Errorf("recorded sessions = %d, want 60", sum.Sessions)
+	}
+	if sum.Steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+
+	// The caregiver report aggregates it.
+	stepCounts := map[string]int{activity.Name: activity.StepCount()}
+	rep := report.Build(user.Name, records, stepCounts)
+	if len(rep.Sessions) != 60 {
+		t.Errorf("report sessions = %d", len(rep.Sessions))
+	}
+	if rep.CompletionRate <= 0 {
+		t.Error("zero completion rate")
+	}
+	out := rep.Render(nil)
+	if !strings.Contains(out, "Mr. Tanaka") {
+		t.Errorf("report render:\n%s", out)
+	}
+
+	// The recorded complete episodes retrain a fresh system to the same
+	// routine knowledge.
+	var complete [][]coreda.StepID
+	for _, ep := range trace.Episodes(records)[activity.Name] {
+		if len(ep) == activity.StepCount() {
+			complete = append(complete, ep)
+		}
+	}
+	if len(complete) < 10 {
+		t.Fatalf("only %d complete recorded episodes", len(complete))
+	}
+	fresh, err := coreda.NewSystem(coreda.SystemConfig{Activity: activity, UserName: user.Name}, coreda.NewScheduler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 150/len(complete)+1; i++ {
+		if err := fresh.TrainEpisodes(complete); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fresh.Planner().Evaluate([][]coreda.StepID{activity.CanonicalRoutine()}); got != 1 {
+		t.Errorf("retrained precision = %v", got)
+	}
+}
