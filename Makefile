@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples fuzz clean
+.PHONY: all build test race vet lint check bench experiments examples fuzz clean
 
-all: build test
+all: check
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,18 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint = the stock vet plus CoReDA's own invariant analyzers
+# (determinism, reward constants, single-threaded discipline, dropped
+# errors, map-iteration order); see internal/analysis.
+lint: vet
+	$(GO) run ./cmd/coreda-vet ./...
+
+# check is the full local gate, same set scripts/check.sh runs in CI.
+check: build test lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -63,7 +63,7 @@ func run(addr, activityName, activityFile string, sessions int, severity, speed 
 
 	prompts := make(chan prompt, 16)
 	nodes := map[adl.ToolID]*rtbridge.NodeClient{}
-	for id := range activity.Tools {
+	for _, id := range adl.SortedToolIDs(activity.Tools) {
 		id := id
 		n, err := rtbridge.DialNode(addr, uint16(id), func(e rtbridge.LEDEvent) {
 			name := toolName(activity, id)

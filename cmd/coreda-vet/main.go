@@ -1,0 +1,83 @@
+// Command coreda-vet runs CoReDA's project-specific static analyzers
+// over package patterns and exits non-zero on any finding.
+//
+// Usage:
+//
+//	coreda-vet [-only analyzer,analyzer] [-list] [packages]
+//
+// With no package arguments it analyzes ./.... Each finding prints as
+//
+//	file:line:col: analyzer: message
+//
+// Suppress an individual finding with a line directive on the same line
+// or the line above:
+//
+//	//coreda:vet-ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coreda/internal/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: coreda-vet [-only analyzer,...] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := analysis.All
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "coreda-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "coreda-vet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			fmt.Fprintf(os.Stderr, "coreda-vet: %s: type-check failed; type-based analyzers skipped\n", pkg.ImportPath)
+			for _, e := range pkg.TypeErrs {
+				fmt.Fprintf(os.Stderr, "coreda-vet: \t%v\n", e)
+			}
+		}
+	}
+
+	findings := analysis.RunPackages(pkgs, analyzers)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "coreda-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -42,7 +42,10 @@ func (h *Hub) Add(cfg SystemConfig) (*System, error) {
 	if _, dup := h.systems[cfg.Activity.Name]; dup {
 		return nil, fmt.Errorf("coreda: activity %q already added", cfg.Activity.Name)
 	}
-	for id := range cfg.Activity.Tools {
+	// Sorted iteration keeps the reported conflict deterministic when
+	// several tools clash at once.
+	ids := adl.SortedToolIDs(cfg.Activity.Tools)
+	for _, id := range ids {
 		if other, taken := h.byTool[id]; taken {
 			return nil, fmt.Errorf("coreda: tool %d of %q already claimed by %q", id, cfg.Activity.Name, other.cfg.Activity.Name)
 		}
@@ -52,7 +55,7 @@ func (h *Hub) Add(cfg SystemConfig) (*System, error) {
 		return nil, err
 	}
 	h.systems[cfg.Activity.Name] = sys
-	for id := range cfg.Activity.Tools {
+	for _, id := range ids {
 		h.byTool[id] = sys
 	}
 	return sys, nil

@@ -194,7 +194,8 @@ func (a *Activity) Validate() error {
 			return fmt.Errorf("adl: activity %q step %d (%q) has non-positive intensity", a.Name, i, s.Name)
 		}
 	}
-	for id, t := range a.Tools {
+	for _, id := range SortedToolIDs(a.Tools) {
+		t := a.Tools[id]
 		if id == NoTool {
 			return fmt.Errorf("adl: activity %q declares reserved tool ID 0", a.Name)
 		}

@@ -1,0 +1,222 @@
+// Package analysis is CoReDA's self-hosted static-analysis suite. It
+// mechanically enforces the invariants the paper states but the compiler
+// cannot check: reproducible simulation (all randomness through seeded
+// *rand.Rand streams, all time through sim.Scheduler), the canonical
+// 1000/100/50 reward constants, the documented single-threaded discipline
+// of System/Hub and internal/core, no silently dropped errors, and no
+// order-sensitive iteration over tool/step maps.
+//
+// The suite is built on the standard library only (go/ast, go/parser,
+// go/types, plus `go list -json` shelling for package discovery), keeping
+// the module dependency-free. The cmd/coreda-vet driver walks package
+// patterns, runs every analyzer and exits non-zero on findings.
+//
+// A finding can be suppressed with a line directive on the same line or
+// the line directly above it:
+//
+//	//coreda:vet-ignore <analyzer> <reason>
+//
+// The analyzer name must match exactly ("all" suppresses every analyzer)
+// and a reason is required; a directive without a reason is itself
+// reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named invariant check over a single package.
+type Analyzer struct {
+	// Name is the identifier used in reports and ignore directives.
+	Name string
+	// Doc is a one-line description of the guarded invariant.
+	Doc string
+	// NeedsTypes marks analyzers that require type information; they
+	// silently skip packages whose type-check failed.
+	NeedsTypes bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	ImportPath string
+	// TypesPkg and TypesInfo are nil when type-checking was skipped or
+	// failed; NeedsTypes analyzers are not run in that case.
+	TypesPkg  *types.Package
+	TypesInfo *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is every analyzer of the suite, in report order.
+var All = []*Analyzer{
+	Nondeterminism,
+	RewardConst,
+	SchedOnly,
+	DroppedErr,
+	ToolIDMap,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunPackage runs the analyzers over one loaded package and returns the
+// findings that survive //coreda:vet-ignore filtering, sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, a := range analyzers {
+		if a.NeedsTypes && pkg.TypesInfo == nil {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			ImportPath: pkg.ImportPath,
+			TypesPkg:   pkg.TypesPkg,
+			TypesInfo:  pkg.TypesInfo,
+			findings:   &findings,
+		}
+		a.Run(pass)
+	}
+	findings = append(findings, filterIgnored(pkg, &findings)...)
+	sortFindings(findings)
+	return findings
+}
+
+// RunPackages runs the analyzers over every package and returns all
+// findings sorted by position.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		all = append(all, RunPackage(pkg, analyzers)...)
+	}
+	sortFindings(all)
+	return all
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// ignoreDirective is one parsed //coreda:vet-ignore comment.
+type ignoreDirective struct {
+	analyzer  string // specific analyzer name, or "all"
+	hasReason bool
+}
+
+const directivePrefix = "coreda:vet-ignore"
+
+// filterIgnored removes findings suppressed by ignore directives from
+// *findings (in place) and returns extra findings for malformed
+// directives (missing analyzer name or reason).
+func filterIgnored(pkg *Package, findings *[]Finding) []Finding {
+	directives := map[fileLine][]ignoreDirective{}
+	var malformed []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
+				pos := pkg.Fset.Position(c.Pos())
+				if len(fields) == 0 {
+					malformed = append(malformed, Finding{
+						Pos:      pos,
+						Analyzer: "vet",
+						Message:  "malformed ignore directive: want //coreda:vet-ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				d := ignoreDirective{analyzer: fields[0], hasReason: len(fields) > 1}
+				if !d.hasReason {
+					malformed = append(malformed, Finding{
+						Pos:      pos,
+						Analyzer: "vet",
+						Message:  fmt.Sprintf("ignore directive for %q is missing a reason", d.analyzer),
+					})
+				}
+				k := fileLine{pos.Filename, pos.Line}
+				directives[k] = append(directives[k], d)
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return malformed
+	}
+	kept := (*findings)[:0]
+	for _, f := range *findings {
+		if !suppressed(directives, f) {
+			kept = append(kept, f)
+		}
+	}
+	*findings = kept
+	return malformed
+}
+
+func suppressed(directives map[fileLine][]ignoreDirective, f Finding) bool {
+	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
+		for _, d := range directives[fileLine{f.Pos.Filename, line}] {
+			if d.hasReason && (d.analyzer == f.Analyzer || d.analyzer == "all") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// fileLine keys directives by position.
+type fileLine struct {
+	file string
+	line int
+}

@@ -1,0 +1,212 @@
+package analysis
+
+// Self-hosted equivalent of golang.org/x/tools' analysistest: each
+// analyzer runs over a golden package under testdata/src/<dir>, and every
+// expected finding is declared in the fixture itself with a trailing
+//
+//	// want `regexp` `regexp...`
+//
+// comment on the offending line. The harness fails on unexpected
+// findings, unmatched expectations, and (for clean cases) any finding at
+// all. Fixture packages are type-checked from source with imports
+// resolved inside testdata/src, so the suite needs no compiled artifacts.
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzers(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name       string
+		analyzer   *Analyzer
+		dir        string // under testdata/src
+		importPath string // package path the fixture is checked as
+		clean      bool   // expect zero findings, ignore want comments
+	}{
+		{"nondeterminism", Nondeterminism, "nondet", "coreda/internal/sim", false},
+		{"nondeterminism/rtbridge-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/rtbridge", true},
+		{"nondeterminism/cmd-allowlisted", Nondeterminism, "nondet_allowed", "coreda/cmd/coreda-node", true},
+		{"rewardconst", RewardConst, "rewardconst", "coreda/internal/experiments", false},
+		{"rewardconst/core-canonical", RewardConst, "rewardcore", "coreda/internal/core", true},
+		{"schedonly", SchedOnly, "schedonly", "coreda/internal/core", false},
+		{"schedonly/concurrent-pkg-allowed", SchedOnly, "schedonly", "coreda/internal/sensornet", true},
+		{"droppederr", DroppedErr, "droppederr", "coreda/internal/store", false},
+		{"droppederr/root-out-of-scope", DroppedErr, "droppederr", "coreda", true},
+		{"toolidmap", ToolIDMap, "toolidmap", "coreda/internal/report", false},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			pkg := loadFixture(t, tc.dir, tc.importPath, tc.analyzer.NeedsTypes)
+			findings := RunPackage(pkg, []*Analyzer{tc.analyzer})
+			if tc.clean {
+				for _, f := range findings {
+					t.Errorf("unexpected finding in clean case: %s", f)
+				}
+				return
+			}
+			checkWants(t, pkg, findings)
+		})
+	}
+}
+
+// loadFixture parses (and optionally type-checks) testdata/src/<dir> as a
+// package with the given import path.
+func loadFixture(t *testing.T, dir, importPath string, needsTypes bool) *Package {
+	t.Helper()
+	base := filepath.Join("testdata", "src", dir)
+	fset := token.NewFileSet()
+	files, err := parseFixtureDir(fset, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", base)
+	}
+	pkg := &Package{
+		Dir:        base,
+		ImportPath: importPath,
+		Name:       files[0].Name.Name,
+		Fset:       fset,
+		Files:      files,
+	}
+	if needsTypes {
+		imp := &fixtureImporter{
+			fset:  fset,
+			root:  filepath.Join("testdata", "src"),
+			cache: map[string]*types.Package{},
+			std:   importer.ForCompiler(fset, "source", nil),
+		}
+		info := &types.Info{
+			Types: map[ast.Expr]types.TypeAndValue{},
+			Defs:  map[*ast.Ident]types.Object{},
+			Uses:  map[*ast.Ident]types.Object{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(importPath, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", dir, err)
+		}
+		pkg.TypesPkg, pkg.TypesInfo = tpkg, info
+	}
+	return pkg
+}
+
+func parseFixtureDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// fixtureImporter resolves imports against testdata/src first (so
+// fixtures can import the miniature "adl" package) and falls back to the
+// standard library's source importer.
+type fixtureImporter struct {
+	fset  *token.FileSet
+	root  string
+	cache map[string]*types.Package
+	std   types.Importer
+}
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := imp.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(imp.root, path)
+	if _, err := os.Stat(dir); err != nil {
+		return imp.std.Import(path)
+	}
+	files, err := parseFixtureDir(imp.fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, imp.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	imp.cache[path] = pkg
+	return pkg, nil
+}
+
+// wantRx extracts the backquoted expectations of a // want comment.
+var wantRx = regexp.MustCompile("`([^`]+)`")
+
+type wantExpect struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// checkWants matches findings against the fixture's want comments 1:1.
+func checkWants(t *testing.T, pkg *Package, findings []Finding) {
+	t.Helper()
+	var wants []*wantExpect
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantRx.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s: malformed want comment (no backquoted regexp): %s", pos, text)
+					continue
+				}
+				for _, m := range matches {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, m[1], err)
+						continue
+					}
+					wants = append(wants, &wantExpect{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

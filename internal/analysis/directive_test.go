@@ -1,0 +1,37 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestIgnoreDirectives pins the //coreda:vet-ignore contract on the
+// directives fixture: a reason is mandatory, suppression is per-analyzer,
+// and malformed directives surface as findings of the "vet" pseudo
+// analyzer.
+func TestIgnoreDirectives(t *testing.T) {
+	t.Parallel()
+	pkg := loadFixture(t, "directives", "coreda/internal/sim", false)
+	findings := RunPackage(pkg, []*Analyzer{Nondeterminism})
+
+	byAnalyzer := map[string][]Finding{}
+	for _, f := range findings {
+		byAnalyzer[f.Analyzer] = append(byAnalyzer[f.Analyzer], f)
+	}
+
+	// missingReason: unsuppressed violation; wrongAnalyzer: directive
+	// names another analyzer, so its violation also survives.
+	// properSuppression: silenced.
+	if got := len(byAnalyzer["nondeterminism"]); got != 2 {
+		t.Errorf("want 2 surviving nondeterminism findings, got %d: %v", got, byAnalyzer["nondeterminism"])
+	}
+
+	// The reason-less directive is itself reported.
+	vet := byAnalyzer["vet"]
+	if len(vet) != 1 {
+		t.Fatalf("want 1 malformed-directive finding, got %d: %v", len(vet), vet)
+	}
+	if !strings.Contains(vet[0].Message, "missing a reason") {
+		t.Errorf("malformed-directive message = %q, want it to mention the missing reason", vet[0].Message)
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DroppedErr flags error values assigned to the blank identifier in
+// internal packages. A dropped error in the simulation pipeline silently
+// skews experiment results; handle it or suppress with an explicit
+// //coreda:vet-ignore droppederr <reason>.
+var DroppedErr = &Analyzer{
+	Name:       "droppederr",
+	Doc:        "forbid discarding error results with _ in internal packages",
+	NeedsTypes: true,
+	Run:        runDroppedErr,
+}
+
+func runDroppedErr(p *Pass) {
+	if !strings.HasPrefix(p.ImportPath, "coreda/internal/") {
+		return
+	}
+	errorType := types.Universe.Lookup("error").Type()
+	errorIface := errorType.Underlying().(*types.Interface)
+	isError := func(t types.Type) bool {
+		return t != nil && (types.Identical(t, errorType) || types.Implements(t, errorIface))
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "_" {
+					continue
+				}
+				if t := blankType(p.TypesInfo, assign, i); t != nil && isError(t) {
+					p.Reportf(id.Pos(), "error result discarded with _: handle it or annotate //coreda:vet-ignore droppederr <reason>")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// blankType resolves the type flowing into position i of the assignment's
+// left-hand side, unpacking multi-value calls.
+func blankType(info *types.Info, assign *ast.AssignStmt, i int) types.Type {
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		tv, ok := info.Types[assign.Rhs[0]]
+		if !ok {
+			return nil
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			// map index / type assertion / channel receive comma-ok
+			// forms: the second value is an untyped bool, never an error.
+			return nil
+		}
+		return tuple.At(i).Type()
+	}
+	if i < len(assign.Rhs) {
+		if tv, ok := info.Types[assign.Rhs[i]]; ok {
+			return tv.Type
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, parsed and (best-effort) type-checked package.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// TypesPkg/TypesInfo are nil when type-checking failed outright.
+	TypesPkg  *types.Package
+	TypesInfo *types.Info
+	// TypeErrs holds type-check diagnostics; analysis proceeds on the
+	// partial information go/types still produced.
+	TypeErrs []error
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+}
+
+// Load discovers the packages matching patterns (e.g. "./...") with
+// `go list` run in dir, parses their non-test Go files and type-checks
+// them from source. Module-local imports resolve against the full module
+// (./... from dir); everything else falls back to the standard library's
+// source importer. Only the standard library is used.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	targets, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	universe := map[string]*listPkg{}
+	if all, err := goList(dir, []string{"./..."}); err == nil {
+		for _, p := range all {
+			universe[p.ImportPath] = p
+		}
+	}
+	for _, p := range targets {
+		universe[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:     fset,
+		universe: universe,
+		checked:  map[string]*types.Package{},
+		std:      importer.ForCompiler(fset, "source", nil),
+	}
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		files, err := parseFiles(fset, lp, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg := &Package{
+			Dir:        lp.Dir,
+			ImportPath: lp.ImportPath,
+			Name:       lp.Name,
+			Fset:       fset,
+			Files:      files,
+		}
+		pkg.TypesPkg, pkg.TypesInfo, pkg.TypeErrs = ld.check(lp.ImportPath, files)
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func goList(dir string, patterns []string) ([]*listPkg, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+func parseFiles(fset *token.FileSet, lp *listPkg, mode parser.Mode) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, mode)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// loader type-checks module packages from source, resolving module-local
+// imports itself and delegating the rest (the standard library) to the
+// stdlib source importer.
+type loader struct {
+	fset     *token.FileSet
+	universe map[string]*listPkg
+	checked  map[string]*types.Package
+	std      types.Importer
+}
+
+// Import implements types.Importer for module-local dependencies.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := l.universe[path]
+	if !ok {
+		return l.std.Import(path)
+	}
+	files, err := parseFiles(l.fset, lp, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg, _, errs := l.check(path, files)
+	if pkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, errs[0])
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// check type-checks one package, tolerating errors: it returns whatever
+// partial package and info go/types produced, plus the diagnostics.
+func (l *loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil && len(errs) == 0 {
+		errs = append(errs, err)
+	}
+	if pkg == nil {
+		return nil, nil, errs
+	}
+	return pkg, info, errs
+}

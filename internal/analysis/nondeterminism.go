@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simScoped lists the simulation-facing packages in which wall-clock time
+// and globally-seeded randomness are forbidden: every experiment result in
+// EXPERIMENTS.md is only reproducible if these packages take time from
+// sim.Scheduler and randomness from seeded *rand.Rand streams (sim.RNG).
+//
+// internal/rtbridge (the real-time hardware bridge) and cmd/ (operator
+// binaries) legitimately touch the wall clock and are allowlisted by
+// omission.
+var simScoped = []string{
+	"coreda/internal/core",
+	"coreda/internal/sim",
+	"coreda/internal/sensornet",
+	"coreda/internal/signalgen",
+	"coreda/internal/experiments",
+	"coreda/internal/persona",
+	"coreda/internal/baseline",
+}
+
+// wallClockFuncs are the time package entry points that read or depend on
+// the wall clock. Types and pure conversions (time.Duration,
+// time.ParseDuration, ...) stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowedRandNames are the math/rand selectors that do not draw from the
+// global source: constructors of explicitly seeded generators, and type
+// names (*rand.Rand in signatures is exactly how seeded randomness is
+// plumbed).
+var allowedRandNames = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"Rand":      true,
+	"Source":    true,
+	"Source64":  true,
+	"Zipf":      true,
+}
+
+// Nondeterminism flags wall-clock time and global-source randomness in
+// simulation-facing packages.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid time.Now/Sleep/... and global rand.* in simulation-facing packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(p *Pass) {
+	if !pathInScope(p.ImportPath, simScoped) {
+		return
+	}
+	for _, f := range p.Files {
+		timeName, timeImported := importName(f, "time")
+		randName, randImported := importName(f, "math/rand")
+		if !randImported {
+			randName, randImported = importName(f, "math/rand/v2")
+		}
+		if !timeImported && !randImported {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			// ident.Obj != nil means a locally declared name shadows
+			// the package; only bare package references qualify.
+			if !ok || ident.Obj != nil {
+				return true
+			}
+			switch {
+			case timeImported && ident.Name == timeName && wallClockFuncs[sel.Sel.Name]:
+				p.Reportf(sel.Pos(), "time.%s reads the wall clock: simulation code must take time from sim.Scheduler", sel.Sel.Name)
+			case randImported && ident.Name == randName && !allowedRandNames[sel.Sel.Name]:
+				p.Reportf(sel.Pos(), "global rand.%s: all randomness must flow through a seeded *rand.Rand (use sim.RNG)", sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}
+
+// pathInScope reports whether importPath is one of the scoped packages or
+// a subpackage of one.
+func pathInScope(importPath string, scope []string) bool {
+	for _, s := range scope {
+		if importPath == s || strings.HasPrefix(importPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// importName returns the name by which path is referred to in f ("rand"
+// for `import "math/rand"`, the alias for renamed imports) and whether
+// the file imports it at all. Blank and dot imports return false: neither
+// produces selector expressions.
+func importName(f *ast.File, path string) (string, bool) {
+	for _, imp := range f.Imports {
+		if strings.Trim(imp.Path.Value, `"`) != path {
+			continue
+		}
+		if imp.Name == nil {
+			name := path
+			if i := strings.LastIndex(name, "/"); i >= 0 {
+				name = name[i+1:]
+			}
+			if name == "v2" {
+				name = "rand"
+			}
+			return name, true
+		}
+		if imp.Name.Name == "_" || imp.Name.Name == "." {
+			return "", false
+		}
+		return imp.Name.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+// TestRepoIsVetClean dogfoods the whole suite on the repository itself:
+// the module must load, type-check and come back with zero findings —
+// the same gate cmd/coreda-vet enforces in `make lint`.
+func TestRepoIsVetClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to go list and type-checks the module from source")
+	}
+	t.Parallel()
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("go list returned no packages")
+	}
+	for _, pkg := range pkgs {
+		if pkg.TypesInfo == nil {
+			t.Errorf("%s: type-check produced no info: %v", pkg.ImportPath, pkg.TypeErrs)
+		}
+		for _, e := range pkg.TypeErrs {
+			t.Errorf("%s: type error: %v", pkg.ImportPath, e)
+		}
+	}
+	for _, f := range RunPackages(pkgs, All) {
+		t.Errorf("finding on clean repo: %s", f)
+	}
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// corePath hosts the single canonical definition of the paper's reward
+// constants (1000 terminal / 100 minimal / 50 specific), as named consts.
+const corePath = "coreda/internal/core"
+
+// rewardValues are the paper's reward magnitudes. Raw occurrences in
+// reward contexts must go through the named constants in internal/core so
+// a future re-tuning cannot leave stale copies behind. Literals are
+// matched numerically, so the float spellings 1000.0/1e3/... count too.
+var rewardValues = map[float64]bool{1000: true, 100: true, 50: true} //coreda:vet-ignore rewardconst the analyzer's own definition of the magnitudes
+
+// isRewardLiteral reports whether lit is a numeric literal equal to one
+// of the paper's reward magnitudes.
+func isRewardLiteral(lit *ast.BasicLit) bool {
+	if lit.Kind != token.INT && lit.Kind != token.FLOAT {
+		return false
+	}
+	v, err := strconv.ParseFloat(lit.Value, 64)
+	return err == nil && rewardValues[v]
+}
+
+// RewardConst flags raw 1000/100/50 literals in reward contexts outside
+// the canonical const block of internal/core.
+var RewardConst = &Analyzer{
+	Name: "rewardconst",
+	Doc:  "force reward values 1000/100/50 through the named constants in internal/core",
+	Run:  runRewardConst,
+}
+
+func runRewardConst(p *Pass) {
+	for _, f := range p.Files {
+		// In internal/core itself the canonical const declarations are
+		// the one place raw literals are legal.
+		var constRanges [][2]token.Pos
+		if p.ImportPath == corePath {
+			for _, decl := range f.Decls {
+				if gd, ok := decl.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+					constRanges = append(constRanges, [2]token.Pos{gd.Pos(), gd.End()})
+				}
+			}
+		}
+		seen := map[token.Pos]bool{}
+		flag := func(context string, root ast.Node) {
+			ast.Inspect(root, func(n ast.Node) bool {
+				lit, ok := n.(*ast.BasicLit)
+				if !ok || !isRewardLiteral(lit) || seen[lit.Pos()] {
+					return true
+				}
+				for _, r := range constRanges {
+					if lit.Pos() >= r[0] && lit.Pos() < r[1] {
+						return true
+					}
+				}
+				seen[lit.Pos()] = true
+				p.Reportf(lit.Pos(), "raw reward literal %s in %s: use the named constants of internal/core (RewardTerminal/RewardMinimal/RewardSpecific)", lit.Value, context)
+				return true
+			})
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if typeNameContains(n.Type, "RewardConfig") {
+					flag("a RewardConfig literal", n)
+					return false
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if exprMentionsReward(lhs) && i < len(n.Rhs) {
+						flag("a reward assignment", n.Rhs[i])
+					}
+				}
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					for _, lhs := range n.Lhs {
+						if exprMentionsReward(lhs) {
+							flag("a reward assignment", n.Rhs[0])
+							break
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if strings.Contains(strings.ToLower(name.Name), "reward") && i < len(n.Values) {
+						flag("a reward declaration", n.Values[i])
+					}
+				}
+			case *ast.BinaryExpr:
+				if n.Op.IsOperator() && (exprMentionsReward(n.X) || exprMentionsReward(n.Y)) {
+					flag("a reward comparison", n)
+					return false
+				}
+			}
+			return true
+		})
+	}
+}
+
+// typeNameContains reports whether the (possibly qualified) type
+// expression's final identifier contains name.
+func typeNameContains(expr ast.Expr, name string) bool {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return strings.Contains(t.Name, name)
+	case *ast.SelectorExpr:
+		return strings.Contains(t.Sel.Name, name)
+	case *ast.StarExpr:
+		return typeNameContains(t.X, name)
+	}
+	return false
+}
+
+// exprMentionsReward reports whether any identifier of the expression
+// mentions "reward".
+func exprMentionsReward(expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.Contains(strings.ToLower(id.Name), "reward") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

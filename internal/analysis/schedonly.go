@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// singleThreaded lists the packages documented single-threaded: the root
+// package (System and Hub are driven from one sim.Scheduler; see hub.go)
+// and internal/core (the learner mutates Q-values without locks).
+// Concurrency there must be introduced deliberately — via a design change
+// that updates this list — never accidentally.
+var singleThreaded = []string{
+	"coreda",
+	"coreda/internal/core",
+}
+
+// SchedOnly flags goroutine launches, sync primitives and channels inside
+// packages documented single-threaded.
+var SchedOnly = &Analyzer{
+	Name: "schedonly",
+	Doc:  "forbid go statements, sync primitives and channels in single-threaded packages",
+	Run:  runSchedOnly,
+}
+
+func runSchedOnly(p *Pass) {
+	// Exact match only: "coreda" must not pull in every subpackage (the
+	// rtbridge and cmd/ trees are legitimately concurrent).
+	scoped := false
+	for _, s := range singleThreaded {
+		if p.ImportPath == s {
+			scoped = true
+			break
+		}
+	}
+	if !scoped {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "sync" || path == "sync/atomic" {
+				p.Reportf(imp.Pos(), "import of %q in single-threaded package %s: System/Hub/core are driven from one scheduler by design", path, p.ImportPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.Reportf(n.Pos(), "go statement in single-threaded package %s: schedule work on the sim.Scheduler instead", p.ImportPath)
+			case *ast.ChanType:
+				p.Reportf(n.Pos(), "channel in single-threaded package %s: deliver events through scheduler callbacks instead", p.ImportPath)
+			case *ast.SelectStmt:
+				p.Reportf(n.Pos(), "select statement in single-threaded package %s", p.ImportPath)
+			}
+			return true
+		})
+	}
+}

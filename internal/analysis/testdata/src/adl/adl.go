@@ -1,0 +1,16 @@
+// Package adl is a miniature stand-in for coreda/internal/adl: the
+// toolidmap analyzer matches map key types by package name and type name,
+// so fixtures can use this package instead of the real module.
+package adl
+
+// ToolID mirrors adl.ToolID.
+type ToolID uint16
+
+// StepID mirrors adl.StepID.
+type StepID uint16
+
+// Tool mirrors the fields fixtures need.
+type Tool struct {
+	ID   ToolID
+	Name string
+}

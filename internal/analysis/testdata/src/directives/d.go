@@ -1,0 +1,22 @@
+// Fixture for the ignore-directive contract, exercised by
+// TestIgnoreDirectives (not want-comments): a directive without a reason
+// is itself reported and suppresses nothing; a well-formed one silences
+// exactly its analyzer on the same or next line.
+package directives
+
+import "time"
+
+func missingReason() time.Time {
+	//coreda:vet-ignore nondeterminism
+	return time.Now()
+}
+
+func properSuppression() time.Time {
+	//coreda:vet-ignore nondeterminism operator tooling may read the wall clock
+	return time.Now()
+}
+
+func wrongAnalyzer() time.Time {
+	//coreda:vet-ignore toolidmap reason aimed at a different analyzer
+	return time.Now()
+}

@@ -1,0 +1,39 @@
+// Fixture for the droppederr analyzer, checked as an internal package
+// (coreda/internal/store). The same directory is re-checked as the root
+// package "coreda", which is out of scope.
+package droppederr
+
+type opError struct{}
+
+func (opError) Error() string { return "op failed" }
+
+func mayFail() (int, error) { return 0, nil }
+
+func concrete() *opError { return nil }
+
+func drops() int {
+	v, _ := mayFail() // want `error result discarded`
+	_, _ = mayFail()  // want `error result discarded`
+	return v
+}
+
+func dropsConcrete() {
+	// Concrete error types count too: *opError implements error.
+	_ = concrete() // want `error result discarded`
+}
+
+// Comma-ok forms drop a bool, never an error.
+func commaOkIsFine(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}
+
+// Discarding non-error values is legal.
+func countIsFine() error {
+	_, err := mayFail()
+	return err
+}
+
+func suppressed() {
+	_, _ = mayFail() //coreda:vet-ignore droppederr fixture exercising the ignore directive
+}

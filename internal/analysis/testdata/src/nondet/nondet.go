@@ -1,0 +1,51 @@
+// Fixture for the nondeterminism analyzer, checked as a simulation-facing
+// package (coreda/internal/sim).
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wait() {
+	time.Sleep(time.Second) // want `time\.Sleep reads the wall clock`
+}
+
+func elapsed(since time.Time) time.Duration {
+	return time.Since(since) // want `time\.Since reads the wall clock`
+}
+
+func draw() int {
+	return rand.Intn(6) // want `global rand\.Intn`
+}
+
+func roll() float64 {
+	return rand.Float64() // want `global rand\.Float64`
+}
+
+// Seeded construction and *rand.Rand plumbing are the sanctioned pattern.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Pure duration arithmetic never touches the wall clock.
+func double(d time.Duration) time.Duration { return d * 2 }
+
+type fakeClock struct{}
+
+func (fakeClock) Now() int { return 0 }
+
+// A local name shadowing the package is not a package reference.
+func shadowed() int {
+	time := fakeClock{}
+	return time.Now()
+}
+
+func suppressed() time.Time {
+	//coreda:vet-ignore nondeterminism fixture exercising the ignore directive
+	return time.Now()
+}

@@ -1,0 +1,12 @@
+// Fixture proving the nondeterminism allowlist: checked as the real-time
+// bridge (coreda/internal/rtbridge), where the wall clock is legitimate.
+package allowed
+
+import (
+	"math/rand"
+	"time"
+)
+
+func now() time.Time { return time.Now() }
+
+func jitter() time.Duration { return time.Duration(rand.Intn(10)) * time.Millisecond }

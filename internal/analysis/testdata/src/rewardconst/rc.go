@@ -1,0 +1,42 @@
+// Fixture for the rewardconst analyzer, checked as an experiment package
+// (outside the canonical const block of internal/core).
+package rc
+
+// RewardConfig mirrors core.RewardConfig for the composite-literal rule.
+type RewardConfig struct {
+	Terminal, Minimal, Specific, Wrong float64
+}
+
+func paperRewards() RewardConfig {
+	return RewardConfig{Terminal: 1000, Minimal: 100, Specific: 50} // want `raw reward literal 1000` `raw reward literal 100` `raw reward literal 50`
+}
+
+func accumulate(terminal bool) float64 {
+	reward := 0.0
+	if terminal {
+		reward = 1000 // want `raw reward literal 1000`
+	}
+	return reward
+}
+
+func isTerminalPay(reward float64) bool {
+	return reward >= 1000 // want `raw reward literal 1000`
+}
+
+func declared() float64 {
+	var specificReward float64 = 50 // want `raw reward literal 50`
+	return specificReward
+}
+
+// Plain counts outside any reward context stay legal: 100 and 50 are
+// ordinary numbers everywhere else.
+func unrelated() int {
+	sessions := 100
+	trials := 50
+	return sessions + trials + 1000
+}
+
+func suppressed() float64 {
+	reward := 1000.0 //coreda:vet-ignore rewardconst fixture exercising the ignore directive
+	return reward
+}

@@ -1,0 +1,20 @@
+// Fixture proving the rewardconst canonical exemption: checked as
+// coreda/internal/core, where the const block is the one legal home of
+// raw reward literals. The harness asserts zero findings.
+package core
+
+// The canonical definition: raw literals are legal inside const decls.
+const (
+	RewardTerminal = 1000
+	RewardMinimal  = 100
+	RewardSpecific = 50
+)
+
+// RewardConfig mirrors the real core type.
+type RewardConfig struct {
+	Terminal, Minimal, Specific float64
+}
+
+func defaults() RewardConfig {
+	return RewardConfig{Terminal: RewardTerminal, Minimal: RewardMinimal, Specific: RewardSpecific}
+}

@@ -1,0 +1,29 @@
+// Fixture for the schedonly analyzer, checked as coreda/internal/core (a
+// documented single-threaded package). The same directory is re-checked
+// as coreda/internal/sensornet, where none of this is flagged.
+package schedonly
+
+import "sync" // want `import of .sync. in single-threaded package`
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func spawn(fn func()) {
+	go fn() // want `go statement in single-threaded package`
+}
+
+func pipe() chan int { // want `channel in single-threaded package`
+	return make(chan int) // want `channel in single-threaded package`
+}
+
+func block() {
+	select {} // want `select statement in single-threaded package`
+}

@@ -1,0 +1,63 @@
+// Fixture for the toolidmap analyzer: range loops over tool/step keyed
+// maps with order-sensitive bodies.
+package toolidmap
+
+import (
+	"fmt"
+	"sort"
+
+	"adl"
+)
+
+func emit(tools map[adl.ToolID]adl.Tool) {
+	for id := range tools {
+		fmt.Println(id) // want `iterating map\[adl\.ToolID\] in randomized order`
+	}
+}
+
+func collect(counts map[adl.StepID]int) []adl.StepID {
+	var out []adl.StepID
+	for id := range counts {
+		out = append(out, id) // want `iterating map\[adl\.StepID\] in randomized order`
+	}
+	return out
+}
+
+func firstError(tools map[adl.ToolID]adl.Tool) error {
+	for id, t := range tools {
+		if t.ID != id {
+			return fmt.Errorf("mismatched tool %d", id) // want `iterating map\[adl\.ToolID\] in randomized order`
+		}
+	}
+	return nil
+}
+
+// Building another map is order-insensitive: no finding.
+func writesAreFine(tools map[adl.ToolID]adl.Tool) map[adl.ToolID]string {
+	names := make(map[adl.ToolID]string, len(tools))
+	for id, t := range tools {
+		names[id] = t.Name
+	}
+	return names
+}
+
+// Pure reduction is order-insensitive: no finding.
+func sums(counts map[adl.StepID]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// Ranging over a sorted key slice is the sanctioned pattern.
+func sorted(tools map[adl.ToolID]adl.Tool) {
+	ids := make([]adl.ToolID, 0, len(tools))
+	for id := range tools {
+		ids = append(ids, id) //coreda:vet-ignore toolidmap keys are sorted before use
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fmt.Println(id, tools[id].Name)
+	}
+}

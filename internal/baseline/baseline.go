@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"coreda/internal/adl"
+	"coreda/internal/core"
 	"coreda/internal/rl"
 	"coreda/internal/stats"
 )
@@ -134,7 +135,7 @@ func NewMDPPlanner(a *adl.Activity, comply, gamma float64) *MDPPlanner {
 			if routine[pos] == routine[tool] {
 				reward := -1.0
 				if pos == n-1 {
-					reward = 1000
+					reward = core.RewardTerminal
 				}
 				m.AddTransition(rl.State(pos), rl.Action(tool), rl.State(pos+1), comply, reward)
 				if comply < 1 {

@@ -57,6 +57,22 @@ type Prompt struct {
 	Level Level
 }
 
+// The paper's reward magnitudes. This const block is the single canonical
+// definition (enforced by the rewardconst analyzer): every reward value in
+// the codebase, including experiment ablations, must reference these names
+// so a re-tuning cannot leave stale raw literals behind.
+const (
+	// RewardTerminal is paid for prompting the step that completes the ADL.
+	RewardTerminal = 1000
+	// RewardMinimal is paid for a correct intermediate minimal prompt.
+	RewardMinimal = 100
+	// RewardSpecific is paid for a correct intermediate specific prompt.
+	RewardSpecific = 50
+	// RewardWrong is paid for a prompt whose tool does not match the
+	// user's actual next step (paper: unstated; 0 by convention).
+	RewardWrong = 0
+)
+
 // RewardConfig is the paper's reward function, with the wrong-prompt
 // outcome exposed for ablation.
 type RewardConfig struct {
@@ -76,7 +92,7 @@ type RewardConfig struct {
 
 // DefaultRewards returns the paper's reward function.
 func DefaultRewards() RewardConfig {
-	return RewardConfig{Terminal: 1000, Minimal: 100, Specific: 50, Wrong: 0}
+	return RewardConfig{Terminal: RewardTerminal, Minimal: RewardMinimal, Specific: RewardSpecific, Wrong: RewardWrong}
 }
 
 // Of computes the reward for taking action a when the user's actual next

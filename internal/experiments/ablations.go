@@ -120,9 +120,9 @@ func RunRewardAblation() ([]AblationRow, error) {
 		name    string
 		rewards core.RewardConfig
 	}{
-		{"paper 100:50", core.RewardConfig{Terminal: 1000, Minimal: 100, Specific: 50}},
-		{"equal 100:100", core.RewardConfig{Terminal: 1000, Minimal: 100, Specific: 100}},
-		{"inverted 50:100", core.RewardConfig{Terminal: 1000, Minimal: 50, Specific: 100}},
+		{"paper 100:50", core.DefaultRewards()},
+		{"equal 100:100", core.RewardConfig{Terminal: core.RewardTerminal, Minimal: core.RewardMinimal, Specific: core.RewardMinimal}},
+		{"inverted 50:100", core.RewardConfig{Terminal: core.RewardTerminal, Minimal: core.RewardSpecific, Specific: core.RewardMinimal}},
 	}
 	var rows []AblationRow
 	for _, arm := range arms {

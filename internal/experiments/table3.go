@@ -84,7 +84,8 @@ func extractOnce(seed int64, activity *adl.Activity, step adl.Step, trial int, n
 	sensornet.NewGateway(sched, medium, sub.HandleUsage)
 
 	gen := signalgen.New(sensornet.SampleRate, noise, sim.RNG(seed, stream+"/signal"))
-	for id, tool := range activity.Tools {
+	for _, id := range adl.SortedToolIDs(activity.Tools) {
+		tool := activity.Tools[id]
 		var src *sensornet.SliceSource
 		if id == step.Tool {
 			series, _, _ := gen.StepSignalKind(step, activity.Tools[step.Tool].Sensor, 0.15)

@@ -1,0 +1,89 @@
+package wire
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corpusDir is the seed corpus `make fuzz` starts from: real encoded
+// frames, so fuzzing explores mutations of valid protocol traffic
+// instead of spending its budget rediscovering the framing from empty
+// input.
+const corpusDir = "testdata/fuzz/FuzzDecode"
+
+// corpusPackets are the frames checked into the seed corpus: one of each
+// packet type (from samplePackets), plus boundary shapes — zero values,
+// saturated fields and an all-colors LED sweep.
+func corpusPackets() []Packet {
+	pkts := samplePackets()
+	pkts = append(pkts,
+		&UsageStart{},
+		&UsageStart{UID: 65535, Seq: 255, Sensor: 255, NodeTime: 4294967295, Hits: 255, Threshold: 65535},
+		&UsageEnd{UID: 1, Seq: 1, NodeTime: 1, DurationMs: 4294967295},
+		&LEDCommand{UID: 2, Seq: 2, Color: LEDRed, Blinks: 255, PeriodMs: 65535},
+		&LEDCommand{UID: 3, Seq: 3, Color: LEDRed, Blinks: 1, PeriodMs: 1},
+		&Heartbeat{UID: 65535, Seq: 255, UptimeMs: 4294967295, Battery: 100},
+	)
+	return pkts
+}
+
+// TestWriteFuzzCorpus regenerates the seed corpus. It is a no-op unless
+// COREDA_WRITE_CORPUS=1, so the checked-in files only change on purpose:
+//
+//	COREDA_WRITE_CORPUS=1 go test ./internal/wire -run TestWriteFuzzCorpus
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("COREDA_WRITE_CORPUS") != "1" {
+		t.Skip("set COREDA_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range corpusPackets() {
+		frame, err := Encode(p)
+		if err != nil {
+			t.Fatalf("encoding corpus packet %d (%v): %v", i, p.Type(), err)
+		}
+		// The go fuzzing corpus file format: a version header plus one
+		// Go-syntax literal per fuzz argument.
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", frame)
+		name := filepath.Join(corpusDir, fmt.Sprintf("seed-%02d-%s", i, p.Type()))
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSeedCorpusDecodes pins the corpus contract: every checked-in seed
+// must exist and hold a decodable frame that round-trips bit-exactly —
+// the same property FuzzDecode asserts.
+func TestSeedCorpusDecodes(t *testing.T) {
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("seed corpus missing (run COREDA_WRITE_CORPUS=1 go test -run TestWriteFuzzCorpus): %v", err)
+	}
+	if want := len(corpusPackets()); len(entries) != want {
+		t.Errorf("corpus has %d seeds, want %d: regenerate with COREDA_WRITE_CORPUS=1", len(entries), want)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var frame []byte
+		if _, err := fmt.Sscanf(string(data), "go test fuzz v1\n[]byte(%q)\n", &frame); err != nil {
+			t.Errorf("%s: not a v1 single-[]byte corpus file: %v", e.Name(), err)
+			continue
+		}
+		p, err := Decode(frame)
+		if err != nil {
+			t.Errorf("%s: seed does not decode: %v", e.Name(), err)
+			continue
+		}
+		re, err := Encode(p)
+		if err != nil || string(re) != string(frame) {
+			t.Errorf("%s: seed does not round-trip (err=%v)", e.Name(), err)
+		}
+	}
+}

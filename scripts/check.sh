@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Single CI entrypoint: formatting gate, stock vet, CoReDA's own static
+# analyzers, then the full test suite under the race detector. Mirrors
+# `make check` (plus the gofmt gate, which make leaves to editors).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== coreda-vet"
+go run ./cmd/coreda-vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "ok"

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"coreda/internal/adl"
 	"coreda/internal/persona"
 	"coreda/internal/sensornet"
 	"coreda/internal/signalgen"
@@ -144,7 +145,10 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 	s.System = system
 	s.Gateway.SetHandler(system.HandleUsage)
 
-	for id, tool := range cfg.Activity.Tools {
+	// Sorted start order keeps the scheduler's event sequence — and with
+	// it every seeded run — bit-for-bit reproducible.
+	for _, id := range adl.SortedToolIDs(cfg.Activity.Tools) {
+		tool := cfg.Activity.Tools[id]
 		src := sensornet.NewSliceSource(nil, cfg.SignalNoise, sim.RNG(cfg.Seed, fmt.Sprintf("rest-%d", id)))
 		node := sensornet.NewNode(sensornet.NodeConfig{
 			UID:    uint16(id),
