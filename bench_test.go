@@ -11,6 +11,7 @@ package coreda_test
 // ns/op, so a bench run regenerates the evaluation numbers.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -49,7 +50,7 @@ func BenchmarkTable3ExtractPrecision(b *testing.B) {
 // iterations to the paper's two convergence thresholds.
 func BenchmarkFigure4LearningCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunFigure4(int64(i+1), 120)
+		res, err := experiments.RunFigure4(int64(i+1), 120, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkFigure1Scenario(b *testing.B) {
 // and the counterfactual sweep (the paper's "fast learning" future work).
 func BenchmarkAblationFastLearning(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunFastLearningAblation()
+		rows, err := experiments.RunFastLearningAblation(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,7 +117,7 @@ func BenchmarkAblationFastLearning(b *testing.B) {
 // BenchmarkAblationLambda sweeps the eligibility-trace decay.
 func BenchmarkAblationLambda(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunLambdaAblation()
+		rows, err := experiments.RunLambdaAblation(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,11 +127,29 @@ func BenchmarkAblationLambda(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationsParallel runs the λ ablation through the parrun pool
+// at 1 and 4 workers. The output rows are identical; only wall-clock
+// differs (on multi-core hosts — a single-core container serializes the
+// workers and shows pool overhead instead of speedup).
+func BenchmarkAblationsParallel(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunLambdaAblation(workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows[len(rows)-1].MeanIter, "lambda0.9-iter")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationRewardRatio measures how the minimal:specific reward
 // ratio shapes the prompt level the policy converges to.
 func BenchmarkAblationRewardRatio(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunRewardAblation()
+		rows, err := experiments.RunRewardAblation(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,7 +167,7 @@ func BenchmarkAblationRewardRatio(b *testing.B) {
 // BenchmarkBaselineComparison regenerates the predictor comparison table.
 func BenchmarkBaselineComparison(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunBaselineComparison(int64(i + 1))
+		rows, err := experiments.RunBaselineComparison(int64(i+1), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -167,7 +186,7 @@ func BenchmarkBaselineComparison(b *testing.B) {
 // adaptation to user compliance.
 func BenchmarkLevelAdaptation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		compliant, noncompliant, err := experiments.RunLevelAdaptation(int64(i + 1))
+		compliant, noncompliant, err := experiments.RunLevelAdaptation(int64(i+1), 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -179,7 +198,7 @@ func BenchmarkLevelAdaptation(b *testing.B) {
 // BenchmarkAblationAlgorithms compares RL algorithms on the routine task.
 func BenchmarkAblationAlgorithms(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.RunAlgorithmComparison()
+		rows, err := experiments.RunAlgorithmComparison(1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +216,7 @@ func BenchmarkAblationAlgorithms(b *testing.B) {
 // BenchmarkSweepNoise regenerates the sensor-noise robustness sweep.
 func BenchmarkSweepNoise(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.RunNoiseSweep(int64(i+1), 15)
+		points, err := experiments.RunNoiseSweep(int64(i+1), 15, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -210,7 +229,7 @@ func BenchmarkSweepNoise(b *testing.B) {
 // BenchmarkSweepRadioLoss regenerates the radio-loss robustness sweep.
 func BenchmarkSweepRadioLoss(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.RunLossSweep(int64(i+1), 30, 6)
+		points, err := experiments.RunLossSweep(int64(i+1), 30, 6, 1)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -245,7 +264,10 @@ func BenchmarkPlannerTrainEpisode(b *testing.B) {
 // BenchmarkPlannerPredict measures one greedy next-step prediction.
 func BenchmarkPlannerPredict(b *testing.B) {
 	a := adl.TeaMaking()
-	p, _ := core.NewPlanner(a, core.Config{}, sim.RNG(1, "bench"))
+	p, err := core.NewPlanner(a, core.Config{}, sim.RNG(1, "bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
 	routine := a.CanonicalRoutine()
 	for i := 0; i < 100; i++ {
 		if err := p.TrainEpisode(routine); err != nil {

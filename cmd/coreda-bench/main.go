@@ -4,13 +4,14 @@
 //
 // Usage:
 //
-//	coreda-bench [-seed N] [-samples N] [-episodes N] [table3|figure4|table4|figure1|ablations|comparison|all]
+//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|all]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"coreda/internal/experiments"
 )
@@ -20,6 +21,8 @@ func main() {
 	samples := flag.Int("samples", 40, "samples per step for table 3 (paper: 40)")
 	episodes := flag.Int("episodes", 120, "training samples per ADL for figure 4 (paper: 120)")
 	incidents := flag.Int("incidents", 30, "test samples per ADL for table 4 (paper: 30)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines for multi-trial experiments (1 = fully sequential; output is identical at any value)")
 	flag.Parse()
 
 	which := "all"
@@ -63,7 +66,7 @@ func main() {
 		return nil
 	})
 	run("figure4", func() error {
-		res, err := experiments.RunFigure4(*seed, *episodes)
+		res, err := experiments.RunFigure4(*seed, *episodes, *workers)
 		if err != nil {
 			return err
 		}
@@ -79,29 +82,29 @@ func main() {
 		return nil
 	})
 	run("ablations", func() error {
-		lam, err := experiments.RunLambdaAblation()
+		lam, err := experiments.RunLambdaAblation(*workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderAblation("Ablation: eligibility-trace decay (plain TD(lambda))", lam, ""))
-		fast, err := experiments.RunFastLearningAblation()
+		fast, err := experiments.RunFastLearningAblation(*workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderAblation("Ablation: fast learning (paper future-work item 2)", fast, ""))
-		rew, err := experiments.RunRewardAblation()
+		rew, err := experiments.RunRewardAblation(*workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderAblation("Ablation: reward ratio vs prompt level", rew, "fraction minimal prompts"))
-		c, n, err := experiments.RunLevelAdaptation(*seed)
+		c, n, err := experiments.RunLevelAdaptation(*seed, *workers)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Ablation: closed-loop level adaptation")
 		fmt.Printf("  compliant user:     minimal fraction = %.2f\n", c)
 		fmt.Printf("  non-compliant user: minimal fraction = %.2f\n", n)
-		algos, err := experiments.RunAlgorithmComparison()
+		algos, err := experiments.RunAlgorithmComparison(*workers)
 		if err != nil {
 			return err
 		}
@@ -109,7 +112,7 @@ func main() {
 		return nil
 	})
 	run("comparison", func() error {
-		rows, err := experiments.RunBaselineComparison(*seed)
+		rows, err := experiments.RunBaselineComparison(*seed, *workers)
 		if err != nil {
 			return err
 		}
@@ -117,12 +120,12 @@ func main() {
 		return nil
 	})
 	run("sweeps", func() error {
-		noise, err := experiments.RunNoiseSweep(*seed, 25)
+		noise, err := experiments.RunNoiseSweep(*seed, 25, *workers)
 		if err != nil {
 			return err
 		}
 		fmt.Print(experiments.RenderNoiseSweep(noise))
-		loss, err := experiments.RunLossSweep(*seed, 40, 8)
+		loss, err := experiments.RunLossSweep(*seed, 40, 8, *workers)
 		if err != nil {
 			return err
 		}

@@ -15,7 +15,7 @@ import (
 )
 
 func main() {
-	rows, err := experiments.RunBaselineComparison(1)
+	rows, err := experiments.RunBaselineComparison(1, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,7 +39,12 @@ func TestAnalyzers(t *testing.T) {
 		{"rewardconst", RewardConst, "rewardconst", "coreda/internal/experiments", false},
 		{"rewardconst/core-canonical", RewardConst, "rewardcore", "coreda/internal/core", true},
 		{"schedonly", SchedOnly, "schedonly", "coreda/internal/core", false},
+		// The experiments layer joined the single-threaded scope when
+		// parrun became its only concurrency outlet: the same fixture's
+		// spawns must be flagged there too.
+		{"schedonly/experiments-scoped", SchedOnly, "schedonly", "coreda/internal/experiments", false},
 		{"schedonly/concurrent-pkg-allowed", SchedOnly, "schedonly", "coreda/internal/sensornet", true},
+		{"schedonly/parrun-allowance", SchedOnly, "schedonly_parrun", "coreda/internal/parrun", true},
 		{"droppederr", DroppedErr, "droppederr", "coreda/internal/store", false},
 		{"droppederr/root-out-of-scope", DroppedErr, "droppederr", "coreda", true},
 		{"toolidmap", ToolIDMap, "toolidmap", "coreda/internal/report", false},

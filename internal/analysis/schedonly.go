@@ -6,17 +6,30 @@ import (
 )
 
 // singleThreaded lists the packages documented single-threaded: the root
-// package (System and Hub are driven from one sim.Scheduler; see hub.go)
-// and internal/core (the learner mutates Q-values without locks).
-// Concurrency there must be introduced deliberately — via a design change
-// that updates this list — never accidentally.
+// package (System and Hub are driven from one sim.Scheduler; see hub.go),
+// internal/core (the learner mutates Q-values without locks), and the
+// rest of the simulation stack — sim (the scheduler itself), rl (tables
+// and traces are lock-free) and experiments (trials share nothing; they
+// fan out through parrun and aggregate sequentially). Concurrency there
+// must be introduced deliberately — via a design change that updates this
+// list — never accidentally.
 var singleThreaded = []string{
 	"coreda",
 	"coreda/internal/core",
+	"coreda/internal/sim",
+	"coreda/internal/rl",
+	"coreda/internal/experiments",
 }
 
+// concurrencyBoundary is the one package sanctioned to spawn goroutines
+// in the simulation stack: internal/parrun's bounded worker pool, which
+// keeps determinism by collecting results by trial index. Everything the
+// pool calls into still obeys the single-threaded rule.
+const concurrencyBoundary = "coreda/internal/parrun"
+
 // SchedOnly flags goroutine launches, sync primitives and channels inside
-// packages documented single-threaded.
+// packages documented single-threaded. internal/parrun is the sanctioned
+// concurrency boundary and is exempt.
 var SchedOnly = &Analyzer{
 	Name: "schedonly",
 	Doc:  "forbid go statements, sync primitives and channels in single-threaded packages",
@@ -26,6 +39,9 @@ var SchedOnly = &Analyzer{
 func runSchedOnly(p *Pass) {
 	// Exact match only: "coreda" must not pull in every subpackage (the
 	// rtbridge and cmd/ trees are legitimately concurrent).
+	if p.ImportPath == concurrencyBoundary {
+		return
+	}
 	scoped := false
 	for _, s := range singleThreaded {
 		if p.ImportPath == s {

@@ -1,6 +1,8 @@
-// Fixture for the schedonly analyzer, checked as coreda/internal/core (a
-// documented single-threaded package). The same directory is re-checked
-// as coreda/internal/sensornet, where none of this is flagged.
+// Fixture for the schedonly analyzer, checked as coreda/internal/core and
+// again as coreda/internal/experiments (both documented single-threaded;
+// experiments must route all concurrency through internal/parrun). The
+// same directory is re-checked as coreda/internal/sensornet, where none
+// of this is flagged.
 package schedonly
 
 import "sync" // want `import of .sync. in single-threaded package`

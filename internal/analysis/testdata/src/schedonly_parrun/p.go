@@ -1,0 +1,25 @@
+// Fixture for the schedonly analyzer, checked as coreda/internal/parrun —
+// the one sanctioned concurrency boundary in the simulation stack. Every
+// construct schedonly forbids elsewhere is legal here: the worker pool
+// needs goroutines, sync, channels and select to exist at all.
+package schedonly_parrun
+
+import "sync"
+
+func pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func(i int) {
+			defer wg.Done()
+			select {
+			case <-done:
+			default:
+				fn(i)
+			}
+		}(w)
+	}
+	close(done)
+	wg.Wait()
+}

@@ -6,6 +6,7 @@ import (
 	"coreda/internal/adl"
 	"coreda/internal/baseline"
 	"coreda/internal/core"
+	"coreda/internal/parrun"
 	"coreda/internal/persona"
 	"coreda/internal/rl"
 	"coreda/internal/sim"
@@ -53,13 +54,20 @@ func iterationsToPerfect(a *adl.Activity, cfg core.Config, seed int64, stream st
 	return ablationCap + 1, nil
 }
 
-func meanIterations(a *adl.Activity, cfg core.Config, stream string) (float64, error) {
+// meanIterations averages iterationsToPerfect over the ablation seeds,
+// fanning the independent seeded trials across workers. Each trial owns
+// its own planner and named RNG stream, and the integer iteration counts
+// are summed by seed index, so the mean is bit-identical at any worker
+// count.
+func meanIterations(a *adl.Activity, cfg core.Config, stream string, workers int) (float64, error) {
+	iters, err := parrun.Map(ablationSeeds, workers, func(seed int) (int, error) {
+		return iterationsToPerfect(a, cfg, int64(seed), stream)
+	})
+	if err != nil {
+		return 0, err
+	}
 	sum := 0
-	for seed := int64(0); seed < ablationSeeds; seed++ {
-		it, err := iterationsToPerfect(a, cfg, seed, stream)
-		if err != nil {
-			return 0, err
-		}
+	for _, it := range iters {
 		sum += it
 	}
 	return float64(sum) / ablationSeeds, nil
@@ -67,27 +75,40 @@ func meanIterations(a *adl.Activity, cfg core.Config, stream string) (float64, e
 
 // RunLambdaAblation sweeps the eligibility-trace decay λ with the
 // counterfactual sweep disabled (plain TD(λ), where λ is load-bearing).
-func RunLambdaAblation() ([]AblationRow, error) {
+// The arm × seed trials run across workers (<= 0 means GOMAXPROCS).
+func RunLambdaAblation(workers int) ([]AblationRow, error) {
 	activity := adl.TeaMaking()
-	var rows []AblationRow
-	for _, lambda := range []float64{0, 0.3, 0.6, 0.9} {
+	lambdas := []float64{0, 0.3, 0.6, 0.9}
+	// Flatten arms × seeds into one trial index space so a single pool
+	// keeps every worker busy across arm boundaries.
+	iters, err := parrun.Map(len(lambdas)*ablationSeeds, workers, func(i int) (int, error) {
+		lambda := lambdas[i/ablationSeeds]
+		seed := int64(i % ablationSeeds)
 		cfg := core.Config{
 			NoCounterfactual: true,
 			RL:               rl.Config{Alpha: 0.8, Gamma: 0.5, Lambda: lambda, Traces: rl.ReplacingTraces},
 		}
-		mean, err := meanIterations(activity, cfg, fmt.Sprintf("ablation/lambda/%v", lambda))
-		if err != nil {
-			return nil, err
+		return iterationsToPerfect(activity, cfg, seed, fmt.Sprintf("ablation/lambda/%v", lambda))
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for li, lambda := range lambdas {
+		sum := 0
+		for _, it := range iters[li*ablationSeeds : (li+1)*ablationSeeds] {
+			sum += it
 		}
-		rows = append(rows, AblationRow{Name: fmt.Sprintf("lambda=%.1f", lambda), MeanIter: mean})
+		rows = append(rows, AblationRow{Name: fmt.Sprintf("lambda=%.1f", lambda), MeanIter: float64(sum) / ablationSeeds})
 	}
 	return rows, nil
 }
 
 // RunFastLearningAblation compares the learning accelerators: plain
 // TD(λ), TD(λ)+replay, the counterfactual sweep, and both — quantifying
-// the paper's "fast learning" future-work item.
-func RunFastLearningAblation() ([]AblationRow, error) {
+// the paper's "fast learning" future-work item. Trials run across
+// workers.
+func RunFastLearningAblation(workers int) ([]AblationRow, error) {
 	activity := adl.TeaMaking()
 	arms := []struct {
 		name string
@@ -98,13 +119,21 @@ func RunFastLearningAblation() ([]AblationRow, error) {
 		{"+counterfactual", core.Config{}},
 		{"+both", core.Config{ReplaySize: 256, ReplayPerEpisode: 64}},
 	}
+	iters, err := parrun.Map(len(arms)*ablationSeeds, workers, func(i int) (int, error) {
+		arm := arms[i/ablationSeeds]
+		seed := int64(i % ablationSeeds)
+		return iterationsToPerfect(activity, arm.cfg, seed, "ablation/fast/"+arm.name)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []AblationRow
-	for _, arm := range arms {
-		mean, err := meanIterations(activity, arm.cfg, "ablation/fast/"+arm.name)
-		if err != nil {
-			return nil, err
+	for ai, arm := range arms {
+		sum := 0
+		for _, it := range iters[ai*ablationSeeds : (ai+1)*ablationSeeds] {
+			sum += it
 		}
-		rows = append(rows, AblationRow{Name: arm.name, MeanIter: mean})
+		rows = append(rows, AblationRow{Name: arm.name, MeanIter: float64(sum) / ablationSeeds})
 	}
 	return rows, nil
 }
@@ -112,8 +141,8 @@ func RunFastLearningAblation() ([]AblationRow, error) {
 // RunRewardAblation varies the minimal:specific reward ratio and reports
 // the fraction of intermediate prompts the converged greedy policy issues
 // at the minimal level. The paper's 100:50 ratio is what encodes the
-// "minimal prompt" design criterion.
-func RunRewardAblation() ([]AblationRow, error) {
+// "minimal prompt" design criterion. Trials run across workers.
+func RunRewardAblation(workers int) ([]AblationRow, error) {
 	activity := adl.TeaMaking()
 	routine := activity.CanonicalRoutine()
 	arms := []struct {
@@ -124,29 +153,42 @@ func RunRewardAblation() ([]AblationRow, error) {
 		{"equal 100:100", core.RewardConfig{Terminal: core.RewardTerminal, Minimal: core.RewardMinimal, Specific: core.RewardMinimal}},
 		{"inverted 50:100", core.RewardConfig{Terminal: core.RewardTerminal, Minimal: core.RewardSpecific, Specific: core.RewardMinimal}},
 	}
-	var rows []AblationRow
-	for _, arm := range arms {
+	// Each trial returns its own counter; per-arm counters are merged in
+	// seed order (integer sums, so identical at any worker count).
+	counts, err := parrun.Map(len(arms)*ablationSeeds, workers, func(i int) (stats.Counter, error) {
+		arm := arms[i/ablationSeeds]
+		seed := int64(i % ablationSeeds)
 		minimal := stats.Counter{}
-		for seed := int64(0); seed < ablationSeeds; seed++ {
-			p, err := core.NewPlanner(activity, core.Config{Rewards: arm.rewards}, sim.RNG(seed, "ablation/reward/"+arm.name))
-			if err != nil {
-				return nil, err
+		p, err := core.NewPlanner(activity, core.Config{Rewards: arm.rewards}, sim.RNG(seed, "ablation/reward/"+arm.name))
+		if err != nil {
+			return minimal, err
+		}
+		for i := 0; i < 150; i++ {
+			if err := p.TrainEpisode(routine); err != nil {
+				return minimal, err
 			}
-			for i := 0; i < 150; i++ {
-				if err := p.TrainEpisode(routine); err != nil {
-					return nil, err
-				}
+		}
+		// Count the level of intermediate greedy prompts (the terminal
+		// prompt's reward is level-independent).
+		prev := adl.StepIdle
+		for i := 0; i+2 < len(routine); i++ {
+			prompt, ok := p.Predict(prev, routine[i])
+			if ok {
+				minimal.Observe(prompt.Level == core.Minimal)
 			}
-			// Count the level of intermediate greedy prompts (the
-			// terminal prompt's reward is level-independent).
-			prev := adl.StepIdle
-			for i := 0; i+2 < len(routine); i++ {
-				prompt, ok := p.Predict(prev, routine[i])
-				if ok {
-					minimal.Observe(prompt.Level == core.Minimal)
-				}
-				prev = routine[i]
-			}
+			prev = routine[i]
+		}
+		return minimal, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for ai, arm := range arms {
+		minimal := stats.Counter{}
+		for _, c := range counts[ai*ablationSeeds : (ai+1)*ablationSeeds] {
+			minimal.Hits += c.Hits
+			minimal.Trials += c.Trials
 		}
 		rows = append(rows, AblationRow{Name: arm.name, Extra: minimal.Rate()})
 	}
@@ -175,8 +217,11 @@ func (pp plannerPredictor) PredictNext(prev, cur adl.StepID) (adl.ToolID, bool) 
 // RunBaselineComparison pits CoReDA against the related-work baselines on
 // the two situations the paper's introduction motivates: personalized
 // routines (prior pre-planned systems fail) and multi-routine users (the
-// paper's future-work item).
-func RunBaselineComparison(seed int64) ([]ComparisonRow, error) {
+// paper's future-work item). The training sets are built sequentially
+// (one shared RNG stream); the independent predictors then train and
+// evaluate across workers. Every predictor draws from its own named
+// streams, so the rows are identical at any worker count.
+func RunBaselineComparison(seed int64, workers int) ([]ComparisonRow, error) {
 	// Personalized user: tea-making in a non-canonical order.
 	tea := adl.TeaMaking()
 	r := tea.CanonicalRoutine()
@@ -203,80 +248,98 @@ func RunBaselineComparison(seed int64) ([]ComparisonRow, error) {
 	}
 	mixEval := [][]adl.StepID{d1, d2}
 
-	// CoReDA (single planner).
-	teaPlanner, err := core.NewPlanner(tea, core.Config{}, sim.RNG(seed, "comparison/coreda-tea"))
-	if err != nil {
-		return nil, err
-	}
-	for _, ep := range personalTrain {
-		if err := teaPlanner.TrainEpisode(ep); err != nil {
+	// trainPlanner trains a fresh CoReDA planner on its own named stream;
+	// called from multiple rows, the identical stream reproduces the
+	// identical table.
+	trainPlanner := func(a *adl.Activity, stream string, train [][]adl.StepID) (*core.Planner, error) {
+		p, err := core.NewPlanner(a, core.Config{}, sim.RNG(seed, stream))
+		if err != nil {
 			return nil, err
 		}
-	}
-	dressPlanner, err := core.NewPlanner(dress, core.Config{}, sim.RNG(seed, "comparison/coreda-dress"))
-	if err != nil {
-		return nil, err
-	}
-	for _, ep := range mixTrain {
-		if err := dressPlanner.TrainEpisode(ep); err != nil {
-			return nil, err
+		for _, ep := range train {
+			if err := p.TrainEpisode(ep); err != nil {
+				return nil, err
+			}
 		}
+		return p, nil
 	}
 
-	// CoReDA multi-routine extension.
-	multi, err := core.NewMultiPlanner(dress, core.Config{}, sim.RNG(seed, "comparison/multi"), []adl.Routine{d1, d2})
-	if err != nil {
-		return nil, err
+	builders := []func() (ComparisonRow, error){
+		func() (ComparisonRow, error) {
+			teaPlanner, err := trainPlanner(tea, "comparison/coreda-tea", personalTrain)
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			dressPlanner, err := trainPlanner(dress, "comparison/coreda-dress", mixTrain)
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			return ComparisonRow{
+				Name:         "CoReDA TD(lambda) Q-learning",
+				Personalized: baseline.Evaluate(plannerPredictor{teaPlanner}, personalEval),
+				MultiRoutine: baseline.Evaluate(plannerPredictor{dressPlanner}, mixEval),
+			}, nil
+		},
+		func() (ComparisonRow, error) {
+			teaPlanner, err := trainPlanner(tea, "comparison/coreda-tea", personalTrain)
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			multi, err := core.NewMultiPlanner(dress, core.Config{}, sim.RNG(seed, "comparison/multi"), []adl.Routine{d1, d2})
+			if err != nil {
+				return ComparisonRow{}, err
+			}
+			for _, ep := range mixTrain {
+				if err := multi.TrainEpisode(ep); err != nil {
+					return ComparisonRow{}, err
+				}
+			}
+			return ComparisonRow{
+				Name:         "CoReDA multi-routine extension",
+				Personalized: baseline.Evaluate(plannerPredictor{teaPlanner}, personalEval),
+				MultiRoutine: multi.Evaluate(mixEval),
+			}, nil
+		},
+		func() (ComparisonRow, error) {
+			teaMarkov := baseline.NewMarkov()
+			for _, ep := range personalTrain {
+				teaMarkov.Train(ep)
+			}
+			dressMarkov := baseline.NewMarkov()
+			for _, ep := range mixTrain {
+				dressMarkov.Train(ep)
+			}
+			return ComparisonRow{
+				Name:         "First-order Markov",
+				Personalized: baseline.Evaluate(teaMarkov, personalEval),
+				MultiRoutine: baseline.Evaluate(dressMarkov, mixEval),
+			}, nil
+		},
+		func() (ComparisonRow, error) {
+			return ComparisonRow{
+				Name:         "Fixed pre-planned routine",
+				Personalized: baseline.Evaluate(baseline.NewFixedPlan(tea), personalEval),
+				MultiRoutine: baseline.Evaluate(baseline.NewFixedPlan(dress), mixEval),
+			}, nil
+		},
+		func() (ComparisonRow, error) {
+			return ComparisonRow{
+				Name:         "MDP value-iteration planner",
+				Personalized: baseline.Evaluate(baseline.NewMDPPlanner(tea, 0.9, 0.95), personalEval),
+				MultiRoutine: baseline.Evaluate(baseline.NewMDPPlanner(dress, 0.9, 0.95), mixEval),
+			}, nil
+		},
+		func() (ComparisonRow, error) {
+			return ComparisonRow{
+				Name:         "Random guess",
+				Personalized: baseline.Evaluate(baseline.NewRandomGuess(tea, sim.RNG(seed, "comparison/rand-tea")), repeat(personalEval, 50)),
+				MultiRoutine: baseline.Evaluate(baseline.NewRandomGuess(dress, sim.RNG(seed, "comparison/rand-dress")), repeat(mixEval, 50)),
+			}, nil
+		},
 	}
-	for _, ep := range mixTrain {
-		if err := multi.TrainEpisode(ep); err != nil {
-			return nil, err
-		}
-	}
-
-	// Markov baselines.
-	teaMarkov := baseline.NewMarkov()
-	for _, ep := range personalTrain {
-		teaMarkov.Train(ep)
-	}
-	dressMarkov := baseline.NewMarkov()
-	for _, ep := range mixTrain {
-		dressMarkov.Train(ep)
-	}
-
-	rows := []ComparisonRow{
-		{
-			Name:         "CoReDA TD(lambda) Q-learning",
-			Personalized: baseline.Evaluate(plannerPredictor{teaPlanner}, personalEval),
-			MultiRoutine: baseline.Evaluate(plannerPredictor{dressPlanner}, mixEval),
-		},
-		{
-			Name:         "CoReDA multi-routine extension",
-			Personalized: baseline.Evaluate(plannerPredictor{teaPlanner}, personalEval),
-			MultiRoutine: multi.Evaluate(mixEval),
-		},
-		{
-			Name:         "First-order Markov",
-			Personalized: baseline.Evaluate(teaMarkov, personalEval),
-			MultiRoutine: baseline.Evaluate(dressMarkov, mixEval),
-		},
-		{
-			Name:         "Fixed pre-planned routine",
-			Personalized: baseline.Evaluate(baseline.NewFixedPlan(tea), personalEval),
-			MultiRoutine: baseline.Evaluate(baseline.NewFixedPlan(dress), mixEval),
-		},
-		{
-			Name:         "MDP value-iteration planner",
-			Personalized: baseline.Evaluate(baseline.NewMDPPlanner(tea, 0.9, 0.95), personalEval),
-			MultiRoutine: baseline.Evaluate(baseline.NewMDPPlanner(dress, 0.9, 0.95), mixEval),
-		},
-		{
-			Name:         "Random guess",
-			Personalized: baseline.Evaluate(baseline.NewRandomGuess(tea, sim.RNG(seed, "comparison/rand-tea")), repeat(personalEval, 50)),
-			MultiRoutine: baseline.Evaluate(baseline.NewRandomGuess(dress, sim.RNG(seed, "comparison/rand-dress")), repeat(mixEval, 50)),
-		},
-	}
-	return rows, nil
+	return parrun.Map(len(builders), workers, func(i int) (ComparisonRow, error) {
+		return builders[i]()
+	})
 }
 
 func repeat(eval [][]adl.StepID, times int) [][]adl.StepID {
@@ -291,8 +354,9 @@ func repeat(eval [][]adl.StepID, times int) [][]adl.StepID {
 // different compliance profiles keep learning during assist sessions; the
 // converged policies should prefer minimal prompts for the user who
 // responds to them and escalate for the user who does not. It returns the
-// fraction of minimal-level greedy prompts per user.
-func RunLevelAdaptation(seed int64) (compliant, noncompliant float64, err error) {
+// fraction of minimal-level greedy prompts per user, with the independent
+// per-seed sessions fanned across workers.
+func RunLevelAdaptation(seed int64, workers int) (compliant, noncompliant float64, err error) {
 	measure := func(complyMinimal float64, stream string) (float64, error) {
 		activity := adl.TeaMaking()
 		routine := activity.CanonicalRoutine()
@@ -341,17 +405,26 @@ func RunLevelAdaptation(seed int64) (compliant, noncompliant float64, err error)
 	}
 
 	const levelSeeds = 5
-	for s := int64(0); s < levelSeeds; s++ {
-		c, err := measure(0.95, fmt.Sprintf("ablation/level/compliant/%d", seed+s))
+	type pair struct{ c, n float64 }
+	pairs, err := parrun.Map(levelSeeds, workers, func(s int) (pair, error) {
+		c, err := measure(0.95, fmt.Sprintf("ablation/level/compliant/%d", seed+int64(s)))
 		if err != nil {
-			return 0, 0, err
+			return pair{}, err
 		}
-		n, err := measure(0.05, fmt.Sprintf("ablation/level/noncompliant/%d", seed+s))
+		n, err := measure(0.05, fmt.Sprintf("ablation/level/noncompliant/%d", seed+int64(s)))
 		if err != nil {
-			return 0, 0, err
+			return pair{}, err
 		}
-		compliant += c / levelSeeds
-		noncompliant += n / levelSeeds
+		return pair{c, n}, nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	// Accumulate in seed order: the float additions happen in exactly the
+	// sequence the sequential loop used.
+	for _, p := range pairs {
+		compliant += p.c / levelSeeds
+		noncompliant += p.n / levelSeeds
 	}
 	return compliant, noncompliant, nil
 }

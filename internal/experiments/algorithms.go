@@ -7,6 +7,7 @@ import (
 
 	"coreda/internal/adl"
 	"coreda/internal/core"
+	"coreda/internal/parrun"
 	"coreda/internal/rl"
 	"coreda/internal/sim"
 )
@@ -103,8 +104,10 @@ type AlgorithmRow struct {
 // RunAlgorithmComparison trains Watkins Q(λ), SARSA(λ), Expected SARSA
 // and Double Q on the routine-learning task with identical ε schedules
 // and no counterfactual help, and reports episodes to a lastingly-perfect
-// greedy policy.
-func RunAlgorithmComparison() ([]AlgorithmRow, error) {
+// greedy policy. The arm × seed trials run across workers (<= 0 means
+// GOMAXPROCS); each trial draws from its own named stream, so the means
+// are identical at any worker count.
+func RunAlgorithmComparison(workers int) ([]AlgorithmRow, error) {
 	activity := adl.TeaMaking()
 	cfg := rl.Config{Alpha: 0.8, Gamma: 0.5, Lambda: 0.7, Traces: rl.ReplacingTraces}
 
@@ -240,14 +243,16 @@ func RunAlgorithmComparison() ([]AlgorithmRow, error) {
 		}},
 	}
 
+	iters, err := parrun.Map(len(arms)*ablationSeeds, workers, func(i int) (int, error) {
+		return arms[i/ablationSeeds].run(int64(i % ablationSeeds))
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []AlgorithmRow
-	for _, arm := range arms {
+	for ai, arm := range arms {
 		sum := 0
-		for seed := int64(0); seed < ablationSeeds; seed++ {
-			it, err := arm.run(seed)
-			if err != nil {
-				return nil, err
-			}
+		for _, it := range iters[ai*ablationSeeds : (ai+1)*ablationSeeds] {
 			sum += it
 		}
 		rows = append(rows, AlgorithmRow{Name: arm.name, MeanIter: float64(sum) / ablationSeeds})

@@ -46,7 +46,7 @@ func TestTable3ReproducesPaperShape(t *testing.T) {
 }
 
 func TestFigure4ReproducesPaperShape(t *testing.T) {
-	res, err := RunFigure4(1, 120)
+	res, err := RunFigure4(1, 120, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestFigure1ScenarioBeats(t *testing.T) {
 }
 
 func TestFastLearningAblationOrdering(t *testing.T) {
-	rows, err := RunFastLearningAblation()
+	rows, err := RunFastLearningAblation(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestFastLearningAblationOrdering(t *testing.T) {
 }
 
 func TestLambdaAblationRuns(t *testing.T) {
-	rows, err := RunLambdaAblation()
+	rows, err := RunLambdaAblation(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestLambdaAblationRuns(t *testing.T) {
 }
 
 func TestRewardAblationShapesLevelChoice(t *testing.T) {
-	rows, err := RunRewardAblation()
+	rows, err := RunRewardAblation(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestRewardAblationShapesLevelChoice(t *testing.T) {
 }
 
 func TestBaselineComparisonNarrative(t *testing.T) {
-	rows, err := RunBaselineComparison(1)
+	rows, err := RunBaselineComparison(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +238,7 @@ func TestBaselineComparisonNarrative(t *testing.T) {
 }
 
 func TestLevelAdaptationSeparatesUsers(t *testing.T) {
-	compliant, noncompliant, err := RunLevelAdaptation(1)
+	compliant, noncompliant, err := RunLevelAdaptation(1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestLevelAdaptationSeparatesUsers(t *testing.T) {
 }
 
 func TestNoiseSweepShape(t *testing.T) {
-	points, err := RunNoiseSweep(1, 15)
+	points, err := RunNoiseSweep(1, 15, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func TestNoiseSweepShape(t *testing.T) {
 }
 
 func TestLossSweepShape(t *testing.T) {
-	points, err := RunLossSweep(1, 30, 6)
+	points, err := RunLossSweep(1, 30, 6, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestRenderTables1And2(t *testing.T) {
 }
 
 func TestAlgorithmComparison(t *testing.T) {
-	rows, err := RunAlgorithmComparison()
+	rows, err := RunAlgorithmComparison(1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"coreda/internal/adl"
 	"coreda/internal/core"
+	"coreda/internal/parrun"
 	"coreda/internal/persona"
 	"coreda/internal/sim"
 	"coreda/internal/stats"
@@ -31,20 +32,21 @@ type Figure4Result struct {
 // RunFigure4 trains a fresh planner per ADL on clean complete episodes
 // ("one training sample is a complete process of an ADL") and measures
 // behaviour-policy precision after every episode against a held-out
-// validation set.
-func RunFigure4(seed int64, episodes int) (*Figure4Result, error) {
+// validation set. The per-ADL curves are independent (each owns its own
+// planner and named streams) and run across workers (<= 0 means
+// GOMAXPROCS); results land in activity order.
+func RunFigure4(seed int64, episodes, workers int) (*Figure4Result, error) {
 	if episodes <= 0 {
 		episodes = 120
 	}
-	res := &Figure4Result{Episodes: episodes}
-	for _, activity := range evalActivities() {
-		series, err := learningCurve(seed, activity, episodes)
-		if err != nil {
-			return nil, err
-		}
-		res.Series = append(res.Series, series)
+	activities := evalActivities()
+	series, err := parrun.Map(len(activities), workers, func(i int) (Figure4Series, error) {
+		return learningCurve(seed, activities[i], episodes)
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure4Result{Series: series, Episodes: episodes}, nil
 }
 
 func learningCurve(seed int64, activity *adl.Activity, episodes int) (Figure4Series, error) {

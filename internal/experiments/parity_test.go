@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestWorkerCountParity asserts the deterministic-parallelism contract of
+// every experiment converted to parrun: the result at the machine's full
+// worker count is bit-identical (reflect.DeepEqual, no tolerance) to the
+// fully sequential workers=1 run.
+func TestWorkerCountParity(t *testing.T) {
+	par := runtime.GOMAXPROCS(0)
+	if par < 2 {
+		// Still worth running: workers>1 exercises the pool path even on
+		// one CPU, where the goroutines interleave on a single thread.
+		par = 4
+	}
+
+	check := func(name string, run func(workers int) (any, error)) {
+		t.Run(name, func(t *testing.T) {
+			seq, err := run(1)
+			if err != nil {
+				t.Fatalf("workers=1: %v", err)
+			}
+			got, err := run(par)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", par, err)
+			}
+			if !reflect.DeepEqual(seq, got) {
+				t.Errorf("workers=%d result differs from sequential run:\nseq: %+v\npar: %+v", par, seq, got)
+			}
+		})
+	}
+
+	check("LambdaAblation", func(w int) (any, error) { return RunLambdaAblation(w) })
+	check("FastLearningAblation", func(w int) (any, error) { return RunFastLearningAblation(w) })
+	check("RewardAblation", func(w int) (any, error) { return RunRewardAblation(w) })
+	check("AlgorithmComparison", func(w int) (any, error) { return RunAlgorithmComparison(w) })
+	check("BaselineComparison", func(w int) (any, error) { return RunBaselineComparison(1, w) })
+	check("Figure4", func(w int) (any, error) { return RunFigure4(1, 60, w) })
+	check("NoiseSweep", func(w int) (any, error) { return RunNoiseSweep(1, 8, w) })
+	check("LossSweep", func(w int) (any, error) { return RunLossSweep(1, 12, 3, w) })
+	check("LevelAdaptation", func(w int) (any, error) {
+		c, n, err := RunLevelAdaptation(1, w)
+		return [2]float64{c, n}, err
+	})
+}

@@ -7,6 +7,7 @@ import (
 
 	"coreda"
 	"coreda/internal/adl"
+	"coreda/internal/parrun"
 	"coreda/internal/persona"
 	"coreda/internal/sensornet"
 	"coreda/internal/stats"
@@ -26,20 +27,24 @@ type NoisePoint struct {
 // — the robustness dimension behind Table 3. Short gestures fall off a
 // cliff first; long gestures survive far more noise, because a long
 // gesture gives the 3-of-10 rule many more chances.
-func RunNoiseSweep(seed int64, samplesPerStep int) ([]NoisePoint, error) {
+// Each sweep point is self-contained (every extraction builds its own
+// scheduler and streams), so the points run across workers (<= 0 means
+// GOMAXPROCS) and land in noise order.
+func RunNoiseSweep(seed int64, samplesPerStep, workers int) ([]NoisePoint, error) {
 	if samplesPerStep <= 0 {
 		samplesPerStep = 25
 	}
 	shortSteps := map[string]bool{"Dry with a towel": true, "Pour hot water into kettle": true}
-	var out []NoisePoint
-	for _, noise := range []float64{0.06, 0.12, 0.18, 0.24, 0.30, 0.36} {
+	noises := []float64{0.06, 0.12, 0.18, 0.24, 0.30, 0.36}
+	return parrun.Map(len(noises), workers, func(ni int) (NoisePoint, error) {
+		noise := noises[ni]
 		var short, long stats.Counter
 		for _, activity := range evalActivities() {
 			for _, step := range activity.Steps {
 				for i := 0; i < samplesPerStep; i++ {
 					ok, err := extractOnce(seed, activity, step, i, noise)
 					if err != nil {
-						return nil, err
+						return NoisePoint{}, err
 					}
 					if shortSteps[step.Name] {
 						short.Observe(ok)
@@ -49,9 +54,8 @@ func RunNoiseSweep(seed int64, samplesPerStep int) ([]NoisePoint, error) {
 				}
 			}
 		}
-		out = append(out, NoisePoint{Noise: noise, Short: short.Rate(), Long: long.Rate()})
-	}
-	return out, nil
+		return NoisePoint{Noise: noise, Short: short.Rate(), Long: long.Rate()}, nil
+	})
 }
 
 // LossPoint is one point of the radio-loss robustness sweep.
@@ -69,8 +73,11 @@ type LossPoint struct {
 
 // RunLossSweep measures end-to-end robustness to radio loss: the
 // link-layer retransmissions mask substantial loss rates, so learning and
-// assistance should degrade gracefully rather than collapse.
-func RunLossSweep(seed int64, trainSessions, assistSessions int) ([]LossPoint, error) {
+// assistance should degrade gracefully rather than collapse. Each loss
+// point builds its own simulation (own scheduler, own streams), so the
+// points run across workers (<= 0 means GOMAXPROCS) and land in loss
+// order.
+func RunLossSweep(seed int64, trainSessions, assistSessions, workers int) ([]LossPoint, error) {
 	if trainSessions <= 0 {
 		trainSessions = 40
 	}
@@ -79,12 +86,13 @@ func RunLossSweep(seed int64, trainSessions, assistSessions int) ([]LossPoint, e
 	}
 	activity := adl.TeaMaking()
 	routine := activity.CanonicalRoutine()
-	var out []LossPoint
-	for _, loss := range []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5} {
+	losses := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5}
+	return parrun.Map(len(losses), workers, func(li int) (LossPoint, error) {
+		loss := losses[li]
 		user := coreda.NewPersona("sweep-user", 0.3)
 		user.ComplyMinimal, user.ComplySpecific = 1, 1
 		if err := user.SetRoutine(activity, routine); err != nil {
-			return nil, err
+			return LossPoint{}, err
 		}
 		medium := sensornet.DefaultMediumConfig()
 		medium.Loss = loss
@@ -103,11 +111,11 @@ func RunLossSweep(seed int64, trainSessions, assistSessions int) ([]LossPoint, e
 			},
 		})
 		if err != nil {
-			return nil, err
+			return LossPoint{}, err
 		}
 		completed, err := sim.RunTraining(trainSessions, 5*time.Minute)
 		if err != nil {
-			return nil, err
+			return LossPoint{}, err
 		}
 		point := LossPoint{
 			Loss:              loss,
@@ -118,16 +126,15 @@ func RunLossSweep(seed int64, trainSessions, assistSessions int) ([]LossPoint, e
 		for i := 0; i < assistSessions; i++ {
 			res, err := sim.RunSession(coreda.ModeAssist, 10*time.Minute)
 			if err != nil {
-				return nil, err
+				return LossPoint{}, err
 			}
 			if res.Completed {
 				assisted++
 			}
 		}
 		point.AssistCompleted = float64(assisted) / float64(assistSessions)
-		out = append(out, point)
-	}
-	return out, nil
+		return point, nil
+	})
 }
 
 // NoisyTrainingResult reports learning through imperfect sensing.

@@ -1,0 +1,111 @@
+// Package parrun is CoReDA's one sanctioned concurrency boundary for the
+// deterministic simulation stack: a bounded worker pool that fans
+// independent seeded trials across goroutines and collects the results by
+// trial index.
+//
+// The experiments layer runs loops over trials that are embarrassingly
+// parallel by construction — each trial owns its own sim.Scheduler and
+// draws randomness from its own named sim.RNG stream, so no state is
+// shared between trials and no trial's result depends on when it ran.
+// Map exploits exactly that: fn(i) may run on any worker at any time, but
+// results land in slot i, so aggregation order — and therefore every
+// reported number — is bit-identical to a sequential run.
+//
+// Everything below parrun (core, sim, the root package, experiments
+// itself) stays single-threaded; the schedonly analyzer enforces that
+// goroutines are spawned nowhere else in the simulation stack.
+package parrun
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Map runs fn(0..n-1) across at most workers goroutines and returns the
+// results ordered by index. workers <= 0 means runtime.GOMAXPROCS(0);
+// workers == 1 runs inline with no goroutines at all (exactly the
+// sequential loop it replaces).
+//
+// Error propagation is deterministic: if any call fails, Map stops
+// handing out new indices, lets in-flight calls finish (the pool drains
+// cleanly — no goroutine outlives the call), and returns the error of the
+// lowest failing index. Because indices are claimed in ascending order,
+// that is the same error a sequential loop would have stopped on.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("parrun: nil fn")
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, fmt.Errorf("parrun: trial %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int  // next unclaimed index
+		failed   bool // stop claiming once any trial errors
+		firstIdx int  // lowest failing index seen so far
+		firstErr error
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if failed || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(i int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !failed || i < firstIdx {
+			failed, firstIdx, firstErr = true, i, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					fail(i, err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, fmt.Errorf("parrun: trial %d: %w", firstIdx, firstErr)
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package parrun
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapCollectsByIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		got, err := Map(25, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 25 {
+			t.Fatalf("workers=%d: len = %d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapResultsIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []string {
+		out, err := Map(40, workers, func(i int) (string, error) {
+			return fmt.Sprintf("trial-%02d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapEmptyAndNil(t *testing.T) {
+	if out, err := Map(0, 4, func(int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Errorf("n=0: (%v, %v)", out, err)
+	}
+	if out, err := Map(-3, 4, func(int) (int, error) { return 0, nil }); err != nil || out != nil {
+		t.Errorf("n<0: (%v, %v)", out, err)
+	}
+	if _, err := Map[int](3, 4, nil); err == nil {
+		t.Error("nil fn accepted")
+	}
+}
+
+// TestMapFirstErrorWins: the reported error must be the lowest failing
+// index — the same error a sequential loop stops on — regardless of
+// worker count or completion order.
+func TestMapFirstErrorWins(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 2, 4, 16} {
+		_, err := Map(50, workers, func(i int) (int, error) {
+			if i == 7 || i == 23 || i == 41 {
+				return 0, fmt.Errorf("index %d: %w", i, sentinel)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: error chain lost: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "trial 7") {
+			t.Errorf("workers=%d: error = %q, want lowest failing trial 7", workers, err)
+		}
+	}
+}
+
+// TestMapDrainsCleanly: after an error, Map must stop claiming new
+// indices but wait for in-flight calls — no goroutine may still be
+// running fn when Map returns.
+func TestMapDrainsCleanly(t *testing.T) {
+	var inflight, started atomic.Int32
+	// Non-failing trials block until the failing trial has run, so they
+	// are genuinely in flight when the error lands.
+	released := make(chan struct{})
+	_, err := Map(100, 4, func(i int) (int, error) {
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		started.Add(1)
+		if i == 0 {
+			close(released)
+			return 0, errors.New("early failure")
+		}
+		<-released
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := inflight.Load(); got != 0 {
+		t.Errorf("%d calls still in flight after Map returned", got)
+	}
+	if s := started.Load(); s == 100 {
+		t.Error("pool kept claiming every index after the failure")
+	}
+}
+
+// TestMapStopsClaimingAfterError: with a serial pool (workers=1 via the
+// inline path is trivially true, so use 2), indices far past the failure
+// must never start once the failure is recorded.
+func TestMapStopsClaimingAfterError(t *testing.T) {
+	var maxStarted atomic.Int32
+	_, err := Map(1000, 2, func(i int) (int, error) {
+		for {
+			cur := maxStarted.Load()
+			if int32(i) <= cur || maxStarted.CompareAndSwap(cur, int32(i)) {
+				break
+			}
+		}
+		if i < 4 {
+			return 0, errors.New("fail fast")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if m := maxStarted.Load(); m >= 100 {
+		t.Errorf("claimed up to index %d after an immediate failure", m)
+	}
+}

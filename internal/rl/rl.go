@@ -22,10 +22,22 @@ type State int
 type Action int
 
 // QTable is a dense table of action values.
+//
+// The greedy argmax of each state is cached: Best answers from the cache,
+// and Set/Add maintain it incrementally where the new value cannot change
+// the winner, falling back to a lazy rescan (stale mark) only when the
+// current best action's value drops. Predict/Observe hot paths therefore
+// stop rescanning whole action rows. The cache reproduces the rescan's
+// tie-break (lowest action index among maxima) exactly, so greedy
+// behaviour — and every experiment number derived from it — is unchanged.
 type QTable struct {
 	states  int
 	actions int
 	q       []float64
+
+	bestA []Action  // cached greedy action per state (valid unless stale)
+	bestV []float64 // cached greedy value per state
+	stale []bool
 }
 
 // NewQTable allocates a table of the given shape with every entry set to
@@ -35,12 +47,22 @@ func NewQTable(states, actions int, init float64) *QTable {
 	if states <= 0 || actions <= 0 {
 		panic(fmt.Sprintf("rl: invalid QTable shape %dx%d", states, actions))
 	}
-	t := &QTable{states: states, actions: actions, q: make([]float64, states*actions)}
+	t := &QTable{
+		states:  states,
+		actions: actions,
+		q:       make([]float64, states*actions),
+		bestA:   make([]Action, states),
+		bestV:   make([]float64, states),
+	}
 	if init != 0 {
 		for i := range t.q {
 			t.q[i] = init
 		}
+		for s := range t.bestV {
+			t.bestV[s] = init
+		}
 	}
+	t.stale = make([]bool, states)
 	return t
 }
 
@@ -61,21 +83,52 @@ func (t *QTable) idx(s State, a Action) int {
 func (t *QTable) Get(s State, a Action) float64 { return t.q[t.idx(s, a)] }
 
 // Set assigns Q(s,a).
-func (t *QTable) Set(s State, a Action, v float64) { t.q[t.idx(s, a)] = v }
+func (t *QTable) Set(s State, a Action, v float64) {
+	t.q[t.idx(s, a)] = v
+	t.note(s, a, v)
+}
 
 // Add increments Q(s,a) by delta.
-func (t *QTable) Add(s State, a Action, delta float64) { t.q[t.idx(s, a)] += delta }
+func (t *QTable) Add(s State, a Action, delta float64) {
+	i := t.idx(s, a)
+	t.q[i] += delta
+	t.note(s, a, t.q[i])
+}
+
+// note maintains the argmax cache after Q(s,a) became v. The only write
+// that can demote the cached winner is lowering its own value; everything
+// else either promotes (strictly greater, or equal at a lower index — the
+// rescan's tie-break) or leaves the winner alone.
+func (t *QTable) note(s State, a Action, v float64) {
+	if t.stale[s] {
+		return
+	}
+	switch {
+	case a == t.bestA[s]:
+		if v < t.bestV[s] {
+			t.stale[s] = true
+		} else {
+			t.bestV[s] = v
+		}
+	case v > t.bestV[s] || (v == t.bestV[s] && a < t.bestA[s]):
+		t.bestA[s], t.bestV[s] = a, v
+	}
+}
 
 // Best returns the greedy action at s and its value. Ties break toward the
 // lowest action index, so greedy behaviour is deterministic.
 func (t *QTable) Best(s State) (Action, float64) {
 	base := t.idx(s, 0)
+	if !t.stale[s] {
+		return t.bestA[s], t.bestV[s]
+	}
 	bestA, bestV := Action(0), t.q[base]
 	for a := 1; a < t.actions; a++ {
 		if v := t.q[base+a]; v > bestV {
 			bestA, bestV = Action(a), v
 		}
 	}
+	t.bestA[s], t.bestV[s], t.stale[s] = bestA, bestV, false
 	return bestA, bestV
 }
 
@@ -87,8 +140,14 @@ func (t *QTable) BestValue(s State) float64 {
 
 // Clone returns a deep copy of the table.
 func (t *QTable) Clone() *QTable {
-	c := &QTable{states: t.states, actions: t.actions, q: append([]float64(nil), t.q...)}
-	return c
+	return &QTable{
+		states:  t.states,
+		actions: t.actions,
+		q:       append([]float64(nil), t.q...),
+		bestA:   append([]Action(nil), t.bestA...),
+		bestV:   append([]float64(nil), t.bestV...),
+		stale:   append([]bool(nil), t.stale...),
+	}
 }
 
 // MaxAbsDiff returns the largest absolute entry-wise difference between
@@ -116,6 +175,9 @@ func (t *QTable) SetValues(v []float64) error {
 		return fmt.Errorf("rl: SetValues with %d values, table holds %d", len(v), len(t.q))
 	}
 	copy(t.q, v)
+	for s := range t.stale {
+		t.stale[s] = true
+	}
 	return nil
 }
 

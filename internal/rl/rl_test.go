@@ -43,6 +43,49 @@ func TestQTableGreedyTieBreaksLow(t *testing.T) {
 	}
 }
 
+// TestQTableBestCacheMatchesRescan drives a table through random writes
+// and checks after every one that the cached argmax equals a from-scratch
+// rescan with the lowest-index tie-break — the invariant that keeps every
+// experiment number identical to the uncached implementation.
+func TestQTableBestCacheMatchesRescan(t *testing.T) {
+	const states, actions = 7, 5
+	rescan := func(q *QTable, s State) (Action, float64) {
+		bestA, bestV := Action(0), q.Get(s, 0)
+		for a := 1; a < actions; a++ {
+			if v := q.Get(s, Action(a)); v > bestV {
+				bestA, bestV = Action(a), v
+			}
+		}
+		return bestA, bestV
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQTable(states, actions, float64(rng.Intn(3)))
+		for i := 0; i < 500; i++ {
+			s := State(rng.Intn(states))
+			a := Action(rng.Intn(actions))
+			// Small integer steps force frequent exact ties.
+			v := float64(rng.Intn(7) - 3)
+			if rng.Intn(2) == 0 {
+				q.Set(s, a, v)
+			} else {
+				q.Add(s, a, v)
+			}
+			checkS := State(rng.Intn(states))
+			wantA, wantV := rescan(q, checkS)
+			gotA, gotV := q.Best(checkS)
+			if gotA != wantA || gotV != wantV {
+				t.Logf("seed %d step %d state %d: cached (%d,%v), rescan (%d,%v)", seed, i, checkS, gotA, gotV, wantA, wantV)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestQTableCloneIsDeep(t *testing.T) {
 	q := NewQTable(2, 2, 0)
 	q.Set(0, 0, 1)

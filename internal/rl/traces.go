@@ -17,22 +17,48 @@ const (
 const traceEpsilon = 1e-6
 
 // Traces is a sparse eligibility-trace table over (state, action) pairs.
+//
+// Storage is a dense value slice indexed by key plus a list of the live
+// keys: Decay and ForEach touch only live entries, and Reset zeroes them
+// without reallocating, so the per-update cost is O(active traces) with
+// no map overhead and no steady-state allocation. A trace is live iff its
+// value is non-zero (all trace values are positive by construction).
 type Traces struct {
 	kind    TraceKind
 	actions int
-	e       map[int]float64
+	e       []float64 // value by key; 0 = not live
+	active  []int     // live keys, in first-visit order
 }
 
 // NewTraces returns empty traces for a table with the given action count.
 func NewTraces(kind TraceKind, actions int) *Traces {
-	return &Traces{kind: kind, actions: actions, e: make(map[int]float64)}
+	return &Traces{kind: kind, actions: actions}
 }
 
 func (tr *Traces) key(s State, a Action) int { return int(s)*tr.actions + int(a) }
 
+// grow ensures the dense slice covers key k. The state space is fixed per
+// learner, so growth happens only on the first visits of a run.
+func (tr *Traces) grow(k int) {
+	if k < len(tr.e) {
+		return
+	}
+	n := len(tr.e)*2 + 1
+	if n <= k {
+		n = k + 1
+	}
+	e := make([]float64, n)
+	copy(e, tr.e)
+	tr.e = e
+}
+
 // Visit marks (s,a) as just taken.
 func (tr *Traces) Visit(s State, a Action) {
 	k := tr.key(s, a)
+	tr.grow(k)
+	if tr.e[k] == 0 {
+		tr.active = append(tr.active, k)
+	}
 	switch tr.kind {
 	case ReplacingTraces:
 		tr.e[k] = 1
@@ -42,34 +68,46 @@ func (tr *Traces) Visit(s State, a Action) {
 }
 
 // Get returns the trace of (s,a).
-func (tr *Traces) Get(s State, a Action) float64 { return tr.e[tr.key(s, a)] }
+func (tr *Traces) Get(s State, a Action) float64 {
+	k := tr.key(s, a)
+	if k >= len(tr.e) {
+		return 0
+	}
+	return tr.e[k]
+}
 
-// Decay multiplies every trace by factor, dropping entries that fall below
-// the cutoff.
+// Decay multiplies every live trace by factor, dropping entries that fall
+// below the cutoff.
 func (tr *Traces) Decay(factor float64) {
-	for k, v := range tr.e {
-		v *= factor
+	kept := tr.active[:0]
+	for _, k := range tr.active {
+		v := tr.e[k] * factor
 		if v < traceEpsilon {
-			delete(tr.e, k)
+			tr.e[k] = 0
 		} else {
 			tr.e[k] = v
+			kept = append(kept, k)
 		}
 	}
+	tr.active = kept
 }
 
 // Reset clears all traces (start of an episode, or after a non-greedy
-// action in Watkins Q(λ)).
+// action in Watkins Q(λ)) without releasing storage.
 func (tr *Traces) Reset() {
-	// Allocate anew: cheaper than deleting when the map is large.
-	tr.e = make(map[int]float64)
+	for _, k := range tr.active {
+		tr.e[k] = 0
+	}
+	tr.active = tr.active[:0]
 }
 
 // Active returns the number of non-zero traces.
-func (tr *Traces) Active() int { return len(tr.e) }
+func (tr *Traces) Active() int { return len(tr.active) }
 
-// ForEach calls fn for every non-zero trace.
+// ForEach calls fn for every non-zero trace. Every live key is visited
+// exactly once, so the table updates it drives are order-independent.
 func (tr *Traces) ForEach(fn func(s State, a Action, e float64)) {
-	for k, v := range tr.e {
-		fn(State(k/tr.actions), Action(k%tr.actions), v)
+	for _, k := range tr.active {
+		fn(State(k/tr.actions), Action(k%tr.actions), tr.e[k])
 	}
 }

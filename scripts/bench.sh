@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Benchmark snapshot of the experiments layer and the RL hot paths: runs
+# the parallel-runner benchmark (workers=1 vs 4) plus the planner/learner
+# micro-benchmarks and records the numbers in BENCH_experiments.json,
+# together with the host CPU budget that bounds any parallel speedup.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_experiments.json
+pattern='BenchmarkAblationsParallel|BenchmarkQLambdaObserve|BenchmarkPlannerTrainEpisode|BenchmarkPlannerPredict'
+
+raw=$(go test -run '^$' -bench "$pattern" -benchmem -count 1 .)
+echo "$raw"
+
+{
+    echo '{'
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN),"
+    echo '  "note": "Parallel speedup is bounded by the cpus figure above: on a single-CPU host workers=4 measures pool overhead rather than speedup. Experiment output is byte-identical at every worker count.",'
+    echo '  "benchmarks": ['
+    echo "$raw" | awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            nsop = ""; bop = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") nsop = $i
+                if ($(i+1) == "B/op") bop = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, allocs)
+        }
+        END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+    '
+    echo '  ]'
+    echo '}'
+} > "$out"
+
+echo "wrote $out"
