@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|all]
+//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|chaos|sweeps|all]
 package main
 
 import (
@@ -119,6 +119,14 @@ func main() {
 		fmt.Print(experiments.RenderComparison(rows))
 		return nil
 	})
+	run("chaos", func() error {
+		soak, err := experiments.RunChaosSoak(*seed, 20, 25, *workers)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderChaosSoak(soak))
+		return nil
+	})
 	run("sweeps", func() error {
 		noise, err := experiments.RunNoiseSweep(*seed, 25, *workers)
 		if err != nil {
@@ -139,7 +147,7 @@ func main() {
 	})
 
 	switch which {
-	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "sweeps":
+	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "chaos", "sweeps":
 	default:
 		fmt.Fprintf(os.Stderr, "coreda-bench: unknown experiment %q\n", which)
 		os.Exit(2)

@@ -7,9 +7,14 @@
 //
 //	coreda-node [-addr localhost:7007] [-activity tea-making]
 //	            [-sessions 3] [-severity 0.3] [-speed 1] [-seed 1]
+//	            [-heartbeat 10s]
 //
 // speed scales the pacing: at -speed 10 a 4-second gesture takes 0.4
 // wall-clock seconds (use the same factor as the server).
+//
+// -heartbeat makes every node send liveness beacons at the given
+// activity-time interval (scaled by -speed like everything else); pair it
+// with the server's -supervise so silent nodes are detected.
 package main
 
 import (
@@ -33,9 +38,10 @@ func main() {
 	severity := flag.Float64("severity", 0.3, "dementia severity in [0,1]")
 	speed := flag.Float64("speed", 1, "pacing speed-up factor (match the server)")
 	seed := flag.Int64("seed", 1, "random seed")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness beacon interval in activity time (0 disables)")
 	flag.Parse()
 
-	if err := run(*addr, *activityName, *activityFile, *sessions, *severity, *speed, *seed); err != nil {
+	if err := run(*addr, *activityName, *activityFile, *sessions, *severity, *speed, *seed, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "coreda-node:", err)
 		os.Exit(1)
 	}
@@ -47,7 +53,7 @@ type prompt struct {
 	specific bool
 }
 
-func run(addr, activityName, activityFile string, sessions int, severity, speed float64, seed int64) error {
+func run(addr, activityName, activityFile string, sessions int, severity, speed float64, seed int64, heartbeat time.Duration) error {
 	activity, err := resolveActivity(activityName, activityFile)
 	if err != nil {
 		return err
@@ -80,6 +86,27 @@ func run(addr, activityName, activityFile string, sessions int, severity, speed 
 		}
 		defer n.Close()
 		nodes[id] = n
+	}
+
+	if heartbeat > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(time.Duration(float64(heartbeat) / speed))
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					for _, id := range adl.SortedToolIDs(activity.Tools) {
+						if err := nodes[id].Heartbeat(elapsed()); err != nil {
+							return
+						}
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
 	}
 
 	use := func(step adl.Step) error {

@@ -66,6 +66,9 @@ type (
 	Reminder = reminding.Reminder
 	// Praise is the encouragement shown on correct progress.
 	Praise = reminding.Praise
+	// CaregiverAlert is a caregiver-facing maintenance notification (a
+	// sensor node declared offline, or its recovery).
+	CaregiverAlert = reminding.Alert
 	// Trigger says why a reminder fired (idle or wrong tool).
 	Trigger = reminding.Trigger
 

@@ -99,3 +99,16 @@ func (h *Hub) HandleUsage(e UsageEvent) {
 	}
 	sys.HandleUsage(e)
 }
+
+// HandleNodeState routes a gateway supervision transition to the owning
+// activity's system. Wire it as the sensornet.Gateway node-state handler
+// (tool ID == node UID). Transitions for unclaimed tools are counted like
+// unroutable usage events.
+func (h *Hub) HandleNodeState(tool ToolID, online bool) {
+	sys, ok := h.byTool[tool]
+	if !ok {
+		h.UnknownTools++
+		return
+	}
+	sys.SetToolOnline(tool, online)
+}

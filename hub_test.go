@@ -119,6 +119,58 @@ func TestHubDefaultModeAssist(t *testing.T) {
 	}
 }
 
+func TestHubNodeStateRoutesBetweenSystems(t *testing.T) {
+	sched := sim.New()
+	hub := NewHub(sched)
+	teaSys, err := hub.Add(SystemConfig{Activity: TeaMaking()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brushSys, err := hub.Add(SystemConfig{Activity: ToothBrushing()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hub.HandleNodeState(adl.ToolKettle, false)
+	if !teaSys.Degraded() || brushSys.Degraded() {
+		t.Errorf("kettle offline: tea degraded=%v brush degraded=%v, want true/false",
+			teaSys.Degraded(), brushSys.Degraded())
+	}
+	hub.HandleNodeState(adl.ToolBrush, false)
+	if !brushSys.Degraded() {
+		t.Error("brush offline transition not routed to brushing system")
+	}
+	hub.HandleNodeState(adl.ToolKettle, true)
+	if teaSys.Degraded() {
+		t.Error("tea system still degraded after its only offline tool recovered")
+	}
+	if !brushSys.Degraded() {
+		t.Error("tea recovery leaked into the brushing system")
+	}
+}
+
+func TestHubAutoStartWhileDegraded(t *testing.T) {
+	// A node dying must not disable the walk-up experience: usage of a
+	// healthy tool still auto-starts the session, in degraded mode.
+	sched := sim.New()
+	hub := NewHub(sched)
+	sys, err := hub.Add(SystemConfig{Activity: TeaMaking()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.HandleNodeState(adl.ToolTeaCup, false)
+	hub.HandleUsage(UsageEvent{Tool: adl.ToolTeaBox, Kind: sensornet.UsageStarted, At: sched.Now()})
+	if !sys.Active() {
+		t.Error("session did not auto-start while degraded")
+	}
+	if !sys.Degraded() {
+		t.Error("degraded flag lost across session auto-start")
+	}
+	if got := sys.OfflineTools(); len(got) != 1 || got[0] != adl.ToolTeaCup {
+		t.Errorf("OfflineTools = %v, want [tea cup]", got)
+	}
+}
+
 func TestHubEndEventDoesNotStartSession(t *testing.T) {
 	sched := sim.New()
 	hub := NewHub(sched)

@@ -34,8 +34,12 @@ func TestAnalyzers(t *testing.T) {
 		clean      bool   // expect zero findings, ignore want comments
 	}{
 		{"nondeterminism", Nondeterminism, "nondet", "coreda/internal/sim", false},
+		{"nondeterminism/chaos-scoped", Nondeterminism, "nondet", "coreda/internal/chaos", false},
 		{"nondeterminism/rtbridge-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/rtbridge", true},
 		{"nondeterminism/cmd-allowlisted", Nondeterminism, "nondet_allowed", "coreda/cmd/coreda-node", true},
+		// "chaosnet" shares the "chaos" prefix as a string but is not a
+		// subpackage; the scope match must not swallow it.
+		{"nondeterminism/chaosnet-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/chaosnet", true},
 		{"rewardconst", RewardConst, "rewardconst", "coreda/internal/experiments", false},
 		{"rewardconst/core-canonical", RewardConst, "rewardcore", "coreda/internal/core", true},
 		{"schedonly", SchedOnly, "schedonly", "coreda/internal/core", false},
@@ -43,7 +47,11 @@ func TestAnalyzers(t *testing.T) {
 		// parrun became its only concurrency outlet: the same fixture's
 		// spawns must be flagged there too.
 		{"schedonly/experiments-scoped", SchedOnly, "schedonly", "coreda/internal/experiments", false},
+		// The fault injector joined the single-threaded scope with the
+		// chaos package: a goroutine there would unseed the fault schedule.
+		{"schedonly/chaos-scoped", SchedOnly, "schedonly", "coreda/internal/chaos", false},
 		{"schedonly/concurrent-pkg-allowed", SchedOnly, "schedonly", "coreda/internal/sensornet", true},
+		{"schedonly/chaosnet-allowed", SchedOnly, "schedonly", "coreda/internal/chaosnet", true},
 		{"schedonly/parrun-allowance", SchedOnly, "schedonly_parrun", "coreda/internal/parrun", true},
 		{"droppederr", DroppedErr, "droppederr", "coreda/internal/store", false},
 		{"droppederr/root-out-of-scope", DroppedErr, "droppederr", "coreda", true},

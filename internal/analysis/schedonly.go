@@ -9,15 +9,19 @@ import (
 // package (System and Hub are driven from one sim.Scheduler; see hub.go),
 // internal/core (the learner mutates Q-values without locks), and the
 // rest of the simulation stack — sim (the scheduler itself), rl (tables
-// and traces are lock-free) and experiments (trials share nothing; they
-// fan out through parrun and aggregate sequentially). Concurrency there
-// must be introduced deliberately — via a design change that updates this
-// list — never accidentally.
+// and traces are lock-free), chaos (the fault injector schedules every
+// fault on the scheduler; a goroutine there would unseed the faults) and
+// experiments (trials share nothing; they fan out through parrun and
+// aggregate sequentially). Concurrency there must be introduced
+// deliberately — via a design change that updates this list — never
+// accidentally. internal/chaosnet is deliberately absent: it wraps real
+// net.Conns for the rtbridge tree and is legitimately concurrent.
 var singleThreaded = []string{
 	"coreda",
 	"coreda/internal/core",
 	"coreda/internal/sim",
 	"coreda/internal/rl",
+	"coreda/internal/chaos",
 	"coreda/internal/experiments",
 }
 

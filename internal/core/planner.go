@@ -129,6 +129,20 @@ func (p *Planner) Table() *rl.QTable { return p.table }
 // Epsilon returns the current exploration rate.
 func (p *Planner) Epsilon() float64 { return p.policy.Epsilon }
 
+// Restore resets the planner's training progress to a checkpointed state:
+// the episode count and the annealed exploration rate. Together with
+// Table().SetValues this makes a reloaded planner byte-for-byte
+// equivalent to the one that was saved — resumed training continues the
+// annealing schedule instead of restarting exploration from scratch.
+func (p *Planner) Restore(episodes int, epsilon float64) {
+	if episodes >= 0 {
+		p.Episodes = episodes
+	}
+	if epsilon > 0 {
+		p.policy.Epsilon = epsilon
+	}
+}
+
 // TrainEpisode learns from one complete performance of the activity (the
 // paper's unit of training data: "a complete process of an ADL").
 //

@@ -80,6 +80,27 @@ type Praise struct {
 	Text string
 }
 
+// Alert is a caregiver-facing maintenance notification — a sensor node
+// died, a battery must be changed — delivered through the reminding
+// subsystem's display channel but addressed to the caregiver, not the
+// user. Dementia-assistive systems must run unattended for long periods;
+// surfacing degradation is part of reminding sensibly.
+type Alert struct {
+	// At is when the alert was raised.
+	At time.Duration
+	// Tool is the affected tool (NoTool for system-wide alerts).
+	Tool adl.ToolID
+	// Text is the human-readable message.
+	Text string
+	// Recovered marks the symmetric all-clear for an earlier alert.
+	Recovered bool
+}
+
+// AlertSink receives caregiver alerts (a pager, a log, a test recorder).
+type AlertSink interface {
+	ShowAlert(Alert)
+}
+
 // Display receives rendered display output (text + picture). The real
 // system drives a screen in front of the user; tests and simulations
 // record the calls.
@@ -144,6 +165,8 @@ type Stats struct {
 	SpecificSent int
 	Escalations  int
 	Praises      int
+	// Alerts counts caregiver alerts raised (recoveries included).
+	Alerts int
 }
 
 // Subsystem renders and delivers reminders.
@@ -151,6 +174,7 @@ type Subsystem struct {
 	cfg     Config
 	display Display
 	leds    LEDs
+	alerts  AlertSink
 
 	// unanswered counts consecutive reminders for the same tool with no
 	// progress in between; it drives escalation.
@@ -233,6 +257,18 @@ func (s *Subsystem) Remind(at time.Duration, prompt core.Prompt, trigger Trigger
 		s.Stats.Escalations++
 	}
 	return r, nil
+}
+
+// SetAlertSink installs (or, with nil, removes) the caregiver alert
+// channel. Kept out of New so existing call sites stay unchanged.
+func (s *Subsystem) SetAlertSink(sink AlertSink) { s.alerts = sink }
+
+// Alert raises a caregiver alert through the configured sink.
+func (s *Subsystem) Alert(a Alert) {
+	s.Stats.Alerts++
+	if s.alerts != nil {
+		s.alerts.ShowAlert(a)
+	}
 }
 
 // NoteProgress must be called when the user performs a step; it resets

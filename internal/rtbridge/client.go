@@ -20,11 +20,12 @@ type LEDEvent struct {
 // NodeClient simulates one PAVENET node over a TCP connection: it reports
 // tool usage and surfaces LED commands.
 type NodeClient struct {
-	uid   uint16
-	conn  net.Conn
-	wm    sync.Mutex
-	seq   uint16
-	onLED func(LEDEvent)
+	uid     uint16
+	conn    net.Conn
+	wm      sync.Mutex
+	seq     uint16
+	timeout time.Duration
+	onLED   func(LEDEvent)
 
 	closed sync.Once
 	readEr error
@@ -50,6 +51,16 @@ func DialNode(addr string, uid uint16, onLED func(LEDEvent)) (*NodeClient, error
 
 // UID returns the node's unique ID (== its tool ID).
 func (n *NodeClient) UID() uint16 { return n.uid }
+
+// SetReadTimeout bounds each read of the reader loop (wall clock). With a
+// timeout set, a server that dies without closing the connection — power
+// cut, SIGKILL — cannot strand the loop (and its goroutine) forever; the
+// loop exits and Done() closes. Zero restores unbounded reads.
+func (n *NodeClient) SetReadTimeout(d time.Duration) {
+	n.wm.Lock()
+	n.timeout = d
+	n.wm.Unlock()
+}
 
 // Close shuts the connection down.
 func (n *NodeClient) Close() error {
@@ -113,8 +124,16 @@ func (n *NodeClient) write(p wire.Packet) error {
 
 func (n *NodeClient) readLoop() {
 	defer close(n.doneCh)
+	// Close on exit so writers fail fast instead of feeding a dead peer.
+	defer n.Close()
 	r := wire.NewReader(n.conn)
 	for {
+		n.wm.Lock()
+		d := n.timeout
+		n.wm.Unlock()
+		if d > 0 {
+			n.conn.SetReadDeadline(time.Now().Add(d))
+		}
 		pkt, err := r.ReadPacket()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {

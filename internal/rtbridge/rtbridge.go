@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -39,6 +40,22 @@ type ServerConfig struct {
 	// Mode is the session mode auto-started when usage arrives while no
 	// session is active (zero means ModeLearn).
 	Mode coreda.Mode
+	// ReadTimeout, when positive, bounds each frame read on a node
+	// connection (wall clock). A connection silent for longer is closed
+	// and its reader goroutine reaped — without it, a node that vanishes
+	// without a FIN (power cut, cable pull) leaks a blocked goroutine
+	// forever. Set it above the nodes' heartbeat interval.
+	ReadTimeout time.Duration
+	// WriteTimeout, when positive, bounds each frame write (acks, LED
+	// commands) so a peer with a full receive buffer cannot wedge the
+	// writer (wall clock).
+	WriteTimeout time.Duration
+	// Supervision, when Interval > 0, arms node-liveness supervision in
+	// virtual time: nodes that have registered (any traffic) and then gone
+	// silent past the deadline are declared OFFLINE to the Hub, which
+	// degrades the owning system; traffic flips them back. Intervals are
+	// virtual-time, so they scale with Speed.
+	Supervision sensornet.SupervisionConfig
 	// OnLog receives human-readable event lines (may be nil).
 	OnLog func(string)
 }
@@ -61,6 +78,10 @@ type Server struct {
 	conns map[uint16]*nodeConn
 	all   map[*nodeConn]struct{}
 	seq   uint16
+
+	// Liveness state, owned by the Run goroutine (virtual time).
+	lastSeen map[uint16]time.Duration
+	offline  map[uint16]bool
 }
 
 type routedPacket struct {
@@ -72,8 +93,9 @@ type routedPacket struct {
 }
 
 type nodeConn struct {
-	c  net.Conn
-	wm sync.Mutex // serializes frame writes (acks vs LED commands)
+	c       net.Conn
+	wm      sync.Mutex // serializes frame writes (acks vs LED commands)
+	timeout time.Duration
 }
 
 func (nc *nodeConn) write(p wire.Packet) error {
@@ -83,6 +105,9 @@ func (nc *nodeConn) write(p wire.Packet) error {
 	}
 	nc.wm.Lock()
 	defer nc.wm.Unlock()
+	if nc.timeout > 0 {
+		nc.c.SetWriteDeadline(time.Now().Add(nc.timeout))
+	}
 	_, err = nc.c.Write(frame)
 	return err
 }
@@ -100,12 +125,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.Mode = coreda.ModeLearn
 	}
 	s := &Server{
-		cfg:     cfg,
-		sched:   sim.New(),
-		packets: make(chan routedPacket, 256),
-		done:    make(chan struct{}),
-		conns:   make(map[uint16]*nodeConn),
-		all:     make(map[*nodeConn]struct{}),
+		cfg:      cfg,
+		sched:    sim.New(),
+		packets:  make(chan routedPacket, 256),
+		done:     make(chan struct{}),
+		conns:    make(map[uint16]*nodeConn),
+		all:      make(map[*nodeConn]struct{}),
+		lastSeen: make(map[uint16]time.Duration),
+		offline:  make(map[uint16]bool),
 	}
 	s.hub = coreda.NewHub(s.sched)
 	s.hub.SetUnknownHandler(func(e coreda.UsageEvent) {
@@ -116,7 +143,54 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		return nil, err
 	}
 	s.sys = sys
+	if cfg.Supervision.Interval > 0 {
+		s.startSupervision()
+	}
 	return s, nil
+}
+
+// startSupervision arms the virtual-time liveness sweep. It runs on the
+// scheduler, i.e. on the Run goroutine, so it may touch lastSeen/offline
+// and the Hub directly.
+func (s *Server) startSupervision() {
+	deadline := s.cfg.Supervision.Deadline
+	if deadline <= 0 {
+		deadline = 3 * s.cfg.Supervision.Interval
+	}
+	s.sched.Every(s.cfg.Supervision.Interval, func() {
+		now := s.sched.Now()
+		for _, uid := range sortedUIDs(s.lastSeen) {
+			if s.offline[uid] || now-s.lastSeen[uid] <= deadline {
+				continue
+			}
+			s.offline[uid] = true
+			s.log(fmt.Sprintf("%7.1fs node %d OFFLINE (silent %v)", now.Seconds(), uid, now-s.lastSeen[uid]))
+			s.hub.HandleNodeState(coreda.ToolID(uid), false)
+		}
+	})
+}
+
+// touch stamps node traffic for liveness and recovers offline nodes. Runs
+// on the Run goroutine.
+func (s *Server) touch(uid uint16, now time.Duration) {
+	if s.cfg.Supervision.Interval <= 0 {
+		return
+	}
+	s.lastSeen[uid] = now
+	if s.offline[uid] {
+		delete(s.offline, uid)
+		s.log(fmt.Sprintf("%7.1fs node %d back online", now.Seconds(), uid))
+		s.hub.HandleNodeState(coreda.ToolID(uid), true)
+	}
+}
+
+func sortedUIDs(m map[uint16]time.Duration) []uint16 {
+	out := make([]uint16, 0, len(m))
+	for uid := range m {
+		out = append(out, uid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // AddActivity registers another activity's system on this server (its
@@ -203,9 +277,12 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// HandleConn reads frames from one node connection until EOF.
+// HandleConn reads frames from one node connection until EOF, a fatal
+// decode error, or — with ReadTimeout set — prolonged silence. The
+// connection is always closed on return, so the reader goroutine cannot
+// outlive its peer.
 func (s *Server) HandleConn(conn net.Conn) {
-	nc := &nodeConn{c: conn}
+	nc := &nodeConn{c: conn, timeout: s.cfg.WriteTimeout}
 	s.mu.Lock()
 	s.all[nc] = struct{}{}
 	s.mu.Unlock()
@@ -216,6 +293,9 @@ func (s *Server) HandleConn(conn net.Conn) {
 	}()
 	r := wire.NewReader(conn)
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		pkt, err := r.ReadPacket()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -238,6 +318,7 @@ func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
 	switch pkt := rp.pkt.(type) {
 	case *wire.UsageStart:
 		s.register(pkt.UID, rp.conn)
+		s.touch(pkt.UID, now)
 		s.ack(rp.conn, pkt.UID, pkt.Seq)
 		s.log(fmt.Sprintf("%7.1fs usage-start tool %d", now.Seconds(), pkt.UID))
 		s.hub.HandleUsage(coreda.UsageEvent{
@@ -248,6 +329,7 @@ func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
 		})
 	case *wire.UsageEnd:
 		s.register(pkt.UID, rp.conn)
+		s.touch(pkt.UID, now)
 		s.ack(rp.conn, pkt.UID, pkt.Seq)
 		s.hub.HandleUsage(coreda.UsageEvent{
 			Tool:     coreda.ToolID(pkt.UID),
@@ -257,6 +339,7 @@ func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
 		})
 	case *wire.Heartbeat:
 		s.register(pkt.UID, rp.conn)
+		s.touch(pkt.UID, now)
 	case *wire.Ack:
 		// LED command acknowledged; TCP already guarantees delivery.
 	}

@@ -2,6 +2,7 @@ package sensornet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"coreda/internal/adl"
@@ -54,6 +55,28 @@ type GatewayStats struct {
 	Heartbeats  int
 	LEDSent     int
 	LEDDropped  int
+	// OfflineEvents / OnlineEvents count supervision state transitions
+	// (a node declared dead / a dead node reappearing).
+	OfflineEvents int
+	OnlineEvents  int
+}
+
+// SupervisionConfig parameterizes the gateway's node-liveness watchdog.
+type SupervisionConfig struct {
+	// Interval is how often liveness is checked; it should match the
+	// nodes' heartbeat interval. Zero disables supervision.
+	Interval time.Duration
+	// Deadline is how long a watched node may stay silent — no
+	// heartbeat, usage report or ack — before it is declared OFFLINE.
+	// Zero means 3×Interval (three missed beats).
+	Deadline time.Duration
+}
+
+func (c SupervisionConfig) deadline() time.Duration {
+	if c.Deadline > 0 {
+		return c.Deadline
+	}
+	return 3 * c.Interval
 }
 
 // Gateway is the server-side radio endpoint: it deduplicates node reports,
@@ -69,6 +92,13 @@ type Gateway struct {
 	pending map[uint16]*pendingTx
 	battery map[uint16]uint8 // last reported battery percent per node
 
+	// Liveness supervision state.
+	watched     []uint16 // sorted; determinism of the check sweep
+	lastSeen    map[uint16]time.Duration
+	offline     map[uint16]bool
+	onNodeState func(uid uint16, online bool)
+	supStop     func()
+
 	// Stats accumulates gateway events.
 	Stats GatewayStats
 }
@@ -77,15 +107,97 @@ type Gateway struct {
 // deduplicated usage event; it may be nil.
 func NewGateway(sched *sim.Scheduler, medium *Medium, handler func(UsageEvent)) *Gateway {
 	g := &Gateway{
-		sched:   sched,
-		medium:  medium,
-		handler: handler,
-		lastSeq: make(map[uint16]uint16),
-		pending: make(map[uint16]*pendingTx),
-		battery: make(map[uint16]uint8),
+		sched:    sched,
+		medium:   medium,
+		handler:  handler,
+		lastSeq:  make(map[uint16]uint16),
+		pending:  make(map[uint16]*pendingTx),
+		battery:  make(map[uint16]uint8),
+		lastSeen: make(map[uint16]time.Duration),
+		offline:  make(map[uint16]bool),
 	}
 	medium.setGateway(g)
 	return g
+}
+
+// SetNodeStateHandler installs a callback for supervision transitions:
+// online=false when a watched node misses its liveness deadline,
+// online=true when a silent node reappears. It fires on the scheduler
+// goroutine, in sorted-UID order for simultaneous transitions.
+func (g *Gateway) SetNodeStateHandler(fn func(uid uint16, online bool)) { g.onNodeState = fn }
+
+// Watch registers nodes for liveness supervision. Each node starts in the
+// ONLINE state with its last-seen stamp set to now, so the deadline clock
+// starts immediately.
+func (g *Gateway) Watch(uids ...uint16) {
+	now := g.sched.Now()
+	for _, uid := range uids {
+		if _, dup := g.lastSeen[uid]; dup {
+			continue
+		}
+		g.lastSeen[uid] = now
+		g.watched = append(g.watched, uid)
+	}
+	sort.Slice(g.watched, func(i, j int) bool { return g.watched[i] < g.watched[j] })
+}
+
+// StartSupervision arms the periodic liveness check. It returns a stop
+// function; calling StartSupervision again restarts with the new config.
+func (g *Gateway) StartSupervision(cfg SupervisionConfig) (stop func()) {
+	if g.supStop != nil {
+		g.supStop()
+		g.supStop = nil
+	}
+	if cfg.Interval <= 0 {
+		return func() {}
+	}
+	deadline := cfg.deadline()
+	g.supStop = g.sched.Every(cfg.Interval, func() {
+		now := g.sched.Now()
+		for _, uid := range g.watched {
+			if g.offline[uid] || now-g.lastSeen[uid] <= deadline {
+				continue
+			}
+			g.offline[uid] = true
+			g.Stats.OfflineEvents++
+			if g.onNodeState != nil {
+				g.onNodeState(uid, false)
+			}
+		}
+	})
+	return g.supStop
+}
+
+// Online reports a watched node's supervision state. Unwatched nodes are
+// reported online.
+func (g *Gateway) Online(uid uint16) bool { return !g.offline[uid] }
+
+// OfflineNodes lists the watched nodes currently declared offline, in
+// ascending UID order.
+func (g *Gateway) OfflineNodes() []uint16 {
+	var out []uint16
+	for _, uid := range g.watched {
+		if g.offline[uid] {
+			out = append(out, uid)
+		}
+	}
+	return out
+}
+
+// touch records traffic from a node and flips it back ONLINE if it had
+// been declared dead — recovery is symmetric with failure.
+func (g *Gateway) touch(uid uint16) {
+	if _, watched := g.lastSeen[uid]; !watched {
+		return
+	}
+	g.lastSeen[uid] = g.sched.Now()
+	if g.offline[uid] {
+		delete(g.offline, uid)
+		g.Stats.OnlineEvents++
+		if g.onNodeState != nil {
+			g.onNodeState(uid, true)
+		}
+	}
 }
 
 // SetHandler replaces the usage-event handler.
@@ -155,6 +267,7 @@ func (g *Gateway) receive(frame []byte) {
 	}
 	switch pkt := p.(type) {
 	case *wire.UsageStart:
+		g.touch(pkt.UID)
 		if !g.accept(pkt.UID, pkt.Seq) {
 			return
 		}
@@ -166,6 +279,7 @@ func (g *Gateway) receive(frame []byte) {
 			Hits: int(pkt.Hits),
 		})
 	case *wire.UsageEnd:
+		g.touch(pkt.UID)
 		if !g.accept(pkt.UID, pkt.Seq) {
 			return
 		}
@@ -177,9 +291,11 @@ func (g *Gateway) receive(frame []byte) {
 			Duration: time.Duration(pkt.DurationMs) * time.Millisecond,
 		})
 	case *wire.Heartbeat:
+		g.touch(pkt.UID)
 		g.Stats.Heartbeats++
 		g.battery[pkt.UID] = pkt.Battery
 	case *wire.Ack:
+		g.touch(pkt.UID)
 		if tx, ok := g.pending[pkt.Seq]; ok {
 			tx.timer.Cancel()
 			delete(g.pending, pkt.Seq)

@@ -45,6 +45,45 @@ type MediumStats struct {
 	// Collisions counts frames destroyed by overlapping transmissions
 	// (each collision destroys at least two).
 	Collisions int
+	// Injected* count faults forced by an installed FaultInjector, on top
+	// of the channel's own probabilistic model.
+	InjectedDrops       int
+	InjectedCorruptions int
+	InjectedDuplicates  int
+}
+
+// FaultAction is a FaultInjector's verdict on one transmission. The zero
+// value passes the frame through untouched.
+type FaultAction struct {
+	// Drop destroys the frame before it enters the air.
+	Drop bool
+	// CorruptBit, when >= 0, flips that bit (modulo the frame's bit
+	// length) of the delivered copy. Use -1 for no corruption.
+	CorruptBit int
+	// ExtraDelay is added to the channel's own latency; a delay longer
+	// than the gap to the next transmission reorders frames.
+	ExtraDelay time.Duration
+	// Duplicates is how many extra copies to deliver after the original,
+	// spaced DupGap apart (ghost retransmissions; the gateway's dedup
+	// must absorb them).
+	Duplicates int
+	// DupGap is the spacing between duplicate deliveries (zero means
+	// 1 ms).
+	DupGap time.Duration
+}
+
+// PassAction is the no-fault FaultAction (CorruptBit must be -1, so the
+// zero value is NOT a pass-through for corruption-aware injectors).
+func PassAction() FaultAction { return FaultAction{CorruptBit: -1} }
+
+// FaultInjector decides a fault action for every frame entering the
+// medium. Implementations must be deterministic functions of their own
+// seeded state — the chaos package's injector is the canonical one.
+type FaultInjector interface {
+	// OnFrame is consulted once per transmission, before the channel's
+	// own loss/corruption model. toGateway says which direction the frame
+	// travels; uid is the node-side endpoint.
+	OnFrame(now time.Duration, toGateway bool, uid uint16, frame []byte) FaultAction
 }
 
 // Medium is the shared radio channel connecting nodes and the gateway.
@@ -54,6 +93,7 @@ type Medium struct {
 	rng   *rand.Rand
 	nodes map[uint16]*Node
 	gw    *Gateway
+	inj   FaultInjector
 
 	lastTx    time.Duration
 	lastInAir *sim.Event
@@ -73,6 +113,13 @@ func (m *Medium) attach(n *Node) { m.nodes[n.UID()] = n }
 
 func (m *Medium) setGateway(g *Gateway) { m.gw = g }
 
+// SetFaultInjector installs (or, with nil, removes) a fault injector
+// consulted for every transmission. The injector draws from its own
+// random stream, so installing one does not perturb the channel's own
+// loss/corruption/jitter sequence — a chaos run and its fault-free
+// counterpart stay comparable frame for frame.
+func (m *Medium) SetFaultInjector(inj FaultInjector) { m.inj = inj }
+
 // Node returns the attached node with the given UID, if any.
 func (m *Medium) Node(uid uint16) (*Node, bool) {
 	n, ok := m.nodes[uid]
@@ -86,8 +133,8 @@ func (m *Medium) backoffJitter() time.Duration {
 }
 
 // toGateway carries a frame from a node to the gateway.
-func (m *Medium) toGateway(frame []byte) {
-	m.deliver(frame, func(f []byte) {
+func (m *Medium) toGateway(uid uint16, frame []byte) {
+	m.deliver(true, uid, frame, func(f []byte) {
 		if m.gw != nil {
 			m.gw.receive(f)
 		}
@@ -96,14 +143,14 @@ func (m *Medium) toGateway(frame []byte) {
 
 // toNode carries a frame from the gateway to one node.
 func (m *Medium) toNode(uid uint16, frame []byte) {
-	m.deliver(frame, func(f []byte) {
+	m.deliver(false, uid, frame, func(f []byte) {
 		if n, ok := m.nodes[uid]; ok {
 			n.receive(f)
 		}
 	})
 }
 
-func (m *Medium) deliver(frame []byte, sink func([]byte)) {
+func (m *Medium) deliver(toGateway bool, uid uint16, frame []byte, sink func([]byte)) {
 	m.Stats.Sent++
 	now := m.sched.Now()
 	if m.cfg.CollisionWindow > 0 && m.everTx && now-m.lastTx < m.cfg.CollisionWindow {
@@ -122,6 +169,15 @@ func (m *Medium) deliver(frame []byte, sink func([]byte)) {
 	}
 	m.lastTx = now
 	m.everTx = true
+	act := PassAction()
+	if m.inj != nil {
+		act = m.inj.OnFrame(now, toGateway, uid, frame)
+	}
+	if act.Drop {
+		m.Stats.Lost++
+		m.Stats.InjectedDrops++
+		return
+	}
 	if m.rng.Float64() < m.cfg.Loss {
 		m.Stats.Lost++
 		return
@@ -134,12 +190,32 @@ func (m *Medium) deliver(frame []byte, sink func([]byte)) {
 		bit := m.rng.Intn(len(f) * 8)
 		f[bit/8] ^= 1 << (bit % 8)
 	}
+	if act.CorruptBit >= 0 && len(f) > 0 {
+		m.Stats.InjectedCorruptions++
+		bit := act.CorruptBit % (len(f) * 8)
+		f[bit/8] ^= 1 << (bit % 8)
+	}
 	delay := m.cfg.BaseLatency
 	if m.cfg.Jitter > 0 {
 		delay += time.Duration(m.rng.Int63n(int64(m.cfg.Jitter)))
 	}
+	delay += act.ExtraDelay
 	m.lastInAir = m.sched.After(delay, func() {
 		m.Stats.Delivered++
 		sink(f)
 	})
+	if act.Duplicates > 0 {
+		gap := act.DupGap
+		if gap <= 0 {
+			gap = time.Millisecond
+		}
+		for i := 1; i <= act.Duplicates; i++ {
+			m.Stats.InjectedDuplicates++
+			dup := f
+			m.sched.After(delay+time.Duration(i)*gap, func() {
+				m.Stats.Delivered++
+				sink(dup)
+			})
+		}
+	}
 }

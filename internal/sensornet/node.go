@@ -137,6 +137,53 @@ func (n *Node) Stop() {
 // InUse reports whether the node currently considers its tool in use.
 func (n *Node) InUse() bool { return n.inUse }
 
+// Running reports whether the node's sampling loop is active (false after
+// Stop, Crash, or battery exhaustion).
+func (n *Node) Running() bool { return n.started }
+
+// Crash models a sudden power loss: sampling, heartbeats and in-flight
+// retransmissions stop instantly, the detection window clears, and any
+// samples queued on the source are lost (the physical gesture happens
+// whether or not the node is alive to see it). The sequence counter
+// survives — the real module keeps it in EEPROM — so the gateway's
+// duplicate suppression stays sound across reboots.
+func (n *Node) Crash() {
+	n.Stop()
+	n.inUse = false
+	n.wpos, n.filled = 0, 0
+	n.window = [DetectionWindow]float64{}
+	n.flushSource()
+}
+
+// Reboot cold-boots a crashed (or stopped) node: the local clock rebases
+// to now and sampling resumes. A node with an exhausted battery cannot
+// reboot. Samples queued while the node was down are discarded — the
+// gestures they encoded are in the past.
+func (n *Node) Reboot() {
+	if n.Dead() || n.started {
+		return
+	}
+	n.boot = n.sched.Now()
+	n.flushSource()
+	n.Start()
+}
+
+// Drain consumes battery charge directly (chaos testing: a cold snap, a
+// stuck LED, a chatty neighbour forcing receives). It is a no-op for
+// nodes without a battery model.
+func (n *Node) Drain(units float64) {
+	if units > 0 {
+		n.spend(units)
+	}
+}
+
+// flushSource discards queued samples on sources that support it.
+func (n *Node) flushSource() {
+	if f, ok := n.src.(interface{ Flush() }); ok {
+		f.Flush()
+	}
+}
+
 // LED returns a snapshot of the LED with the given color.
 func (n *Node) LED(c wire.LEDColor) LEDState {
 	if s, ok := n.leds[c]; ok {
@@ -251,7 +298,7 @@ func (n *Node) heartbeat() {
 		panic(fmt.Sprintf("sensornet: encoding heartbeat: %v", err))
 	}
 	// Heartbeats are fire-and-forget: no ack, no retransmission.
-	n.medium.toGateway(frame)
+	n.medium.toGateway(n.cfg.UID, frame)
 }
 
 // sendReliable transmits a packet with ack-based retransmission.
@@ -272,7 +319,7 @@ func (n *Node) transmit(seq uint16, tx *pendingTx) {
 		return
 	}
 	tx.tries++
-	n.medium.toGateway(tx.frame)
+	n.medium.toGateway(n.cfg.UID, tx.frame)
 	tx.timer = n.sched.After(AckTimeout+n.medium.backoffJitter(), func() {
 		if _, still := n.pending[seq]; !still {
 			return
@@ -304,7 +351,7 @@ func (n *Node) receive(frame []byte) {
 		if err != nil {
 			panic(fmt.Sprintf("sensornet: encoding ack: %v", err))
 		}
-		n.medium.toGateway(ack)
+		n.medium.toGateway(n.cfg.UID, ack)
 	}
 }
 

@@ -403,8 +403,8 @@ func TestCollisionWindowZeroDisablesCollisions(t *testing.T) {
 	m := NewMedium(MediumConfig{BaseLatency: time.Millisecond}, sched, sim.RNG(2, "nocollide"))
 	NewGateway(sched, m, nil)
 	frame := []byte{0x01}
-	m.toGateway(frame)
-	m.toGateway(frame) // same instant
+	m.toGateway(1, frame)
+	m.toGateway(1, frame) // same instant
 	sched.Run()
 	if m.Stats.Collisions != 0 {
 		t.Errorf("Collisions = %d with window disabled", m.Stats.Collisions)

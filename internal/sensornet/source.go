@@ -57,6 +57,14 @@ func (s *SliceSource) Enqueue(series []float64) {
 // Remaining returns how many queued samples have not been consumed yet.
 func (s *SliceSource) Remaining() int { return len(s.series) - s.pos }
 
+// Flush discards every queued sample: after a node crash the samples a
+// dead node would have taken are gone, not stored. The source resumes
+// emitting rest noise.
+func (s *SliceSource) Flush() {
+	s.series = s.series[:0]
+	s.pos = 0
+}
+
 // FuncSource adapts a function to the SampleSource interface.
 type FuncSource func() float64
 

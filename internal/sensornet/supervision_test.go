@@ -1,0 +1,199 @@
+package sensornet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"coreda/internal/sim"
+)
+
+// transition records one node-state callback.
+type transition struct {
+	UID    uint16
+	Online bool
+	At     time.Duration
+}
+
+func newSupervisedNet(t *testing.T, beat time.Duration, uids ...uint16) (*sim.Scheduler, *Medium, *Gateway, []*Node, *[]transition) {
+	t.Helper()
+	sched := sim.New()
+	m := perfectMedium(sched)
+	g := NewGateway(sched, m, nil)
+	var nodes []*Node
+	for _, uid := range uids {
+		n := NewNode(NodeConfig{UID: uid, Heartbeat: beat}, sched, m, NewSliceSource(nil, 0, nil))
+		n.Start()
+		nodes = append(nodes, n)
+	}
+	var trans []transition
+	g.Watch(uids...)
+	g.SetNodeStateHandler(func(uid uint16, online bool) {
+		trans = append(trans, transition{UID: uid, Online: online, At: sched.Now()})
+	})
+	g.StartSupervision(SupervisionConfig{Interval: beat})
+	return sched, m, g, nodes, &trans
+}
+
+func TestSupervisionDeclaresCrashedNodeOffline(t *testing.T) {
+	sched, _, g, nodes, trans := newSupervisedNet(t, time.Second, 7)
+
+	sched.RunUntil(10 * time.Second)
+	if len(*trans) != 0 {
+		t.Fatalf("healthy node flagged: %+v", *trans)
+	}
+	if !g.Online(7) {
+		t.Fatal("heartbeating node reported offline")
+	}
+
+	nodes[0].Crash()
+	// Default deadline is three missed beats: silence from 10s means the
+	// sweep at 14s (last-seen ~10s, deadline 3s) declares the node dead.
+	sched.RunUntil(20 * time.Second)
+	if len(*trans) != 1 || (*trans)[0].Online || (*trans)[0].UID != 7 {
+		t.Fatalf("transitions = %+v, want one offline for uid 7", *trans)
+	}
+	if (*trans)[0].At > 15*time.Second {
+		t.Errorf("offline declared at %v, too late for a 3-beat deadline", (*trans)[0].At)
+	}
+	if g.Online(7) {
+		t.Error("Online(7) after declaration")
+	}
+	if got := g.OfflineNodes(); !reflect.DeepEqual(got, []uint16{7}) {
+		t.Errorf("OfflineNodes = %v", got)
+	}
+	if g.Stats.OfflineEvents != 1 {
+		t.Errorf("OfflineEvents = %d", g.Stats.OfflineEvents)
+	}
+
+	// Recovery: the first heartbeat after reboot flips the node back.
+	nodes[0].Reboot()
+	sched.RunUntil(25 * time.Second)
+	if len(*trans) != 2 || !(*trans)[1].Online {
+		t.Fatalf("transitions = %+v, want a recovery", *trans)
+	}
+	if !g.Online(7) || len(g.OfflineNodes()) != 0 {
+		t.Error("node not back online after reboot")
+	}
+	if g.Stats.OnlineEvents != 1 {
+		t.Errorf("OnlineEvents = %d", g.Stats.OnlineEvents)
+	}
+}
+
+func TestSupervisionOnlyWatchesRegisteredNodes(t *testing.T) {
+	sched := sim.New()
+	m := perfectMedium(sched)
+	g := NewGateway(sched, m, nil)
+	// Node exists but is never watched — and never even heartbeats.
+	NewNode(NodeConfig{UID: 9}, sched, m, NewSliceSource(nil, 0, nil)).Start()
+	var trans []transition
+	g.SetNodeStateHandler(func(uid uint16, online bool) {
+		trans = append(trans, transition{UID: uid, Online: online})
+	})
+	g.StartSupervision(SupervisionConfig{Interval: time.Second})
+
+	sched.RunUntil(30 * time.Second)
+	if len(trans) != 0 {
+		t.Errorf("unwatched node produced transitions: %+v", trans)
+	}
+	if !g.Online(9) {
+		t.Error("unwatched node reported offline")
+	}
+}
+
+func TestSupervisionStopHaltsSweeps(t *testing.T) {
+	sched, _, g, nodes, trans := newSupervisedNet(t, time.Second, 3)
+	stop := g.StartSupervision(SupervisionConfig{Interval: time.Second})
+	nodes[0].Crash()
+	stop()
+	sched.RunUntil(30 * time.Second)
+	if len(*trans) != 0 {
+		t.Errorf("stopped supervision still declared: %+v", *trans)
+	}
+	if g.Stats.OfflineEvents != 0 {
+		t.Errorf("OfflineEvents = %d after stop", g.Stats.OfflineEvents)
+	}
+}
+
+func TestSupervisionCustomDeadline(t *testing.T) {
+	sched, _, _, nodes, trans := newSupervisedNet(t, time.Second, 4)
+	// Re-arm with a long explicit deadline; the crash must not be declared
+	// until it elapses.
+	nodes[0].medium.gw.StartSupervision(SupervisionConfig{Interval: time.Second, Deadline: 10 * time.Second})
+	nodes[0].Crash()
+	sched.RunUntil(8 * time.Second)
+	if len(*trans) != 0 {
+		t.Fatalf("declared before the 10s deadline: %+v", *trans)
+	}
+	sched.RunUntil(15 * time.Second)
+	if len(*trans) != 1 {
+		t.Fatalf("never declared after the deadline: %+v", *trans)
+	}
+}
+
+func TestDedupSurvivesReboot(t *testing.T) {
+	// The node's sequence counter survives crash+reboot (EEPROM-backed on
+	// the real module), so the gateway's duplicate suppression must keep
+	// accepting post-reboot reports as fresh.
+	sched := sim.New()
+	m := perfectMedium(sched)
+	var events []UsageEvent
+	NewGateway(sched, m, collect(&events))
+
+	src := NewSliceSource(nil, 0, nil)
+	n := NewNode(NodeConfig{UID: 5}, sched, m, src)
+	n.Start()
+
+	hot := make([]float64, 20)
+	for i := range hot {
+		hot[i] = 2.0
+	}
+	src.Enqueue(hot)
+	sched.RunUntil(10 * time.Second)
+	if len(events) != 2 {
+		t.Fatalf("pre-crash events = %d, want start+end", len(events))
+	}
+
+	n.Crash()
+	sched.RunUntil(12 * time.Second)
+	n.Reboot()
+	src.Enqueue(hot)
+	sched.RunUntil(25 * time.Second)
+	if len(events) != 4 {
+		t.Fatalf("post-reboot events = %d, want 4 (reboot must not trip dedup)", len(events))
+	}
+}
+
+func TestCrashLosesQueuedGesture(t *testing.T) {
+	sched := sim.New()
+	m := perfectMedium(sched)
+	var events []UsageEvent
+	NewGateway(sched, m, collect(&events))
+	src := NewSliceSource(nil, 0, nil)
+	n := NewNode(NodeConfig{UID: 6}, sched, m, src)
+	n.Start()
+
+	// Crash with a gesture still queued: the physical motion happens, but
+	// nobody is sampling — the samples must be flushed, not replayed after
+	// reboot as a ghost usage from the past.
+	hot := make([]float64, 50)
+	for i := range hot {
+		hot[i] = 2.0
+	}
+	src.Enqueue(hot)
+	sched.RunUntil(1 * time.Second) // mid-gesture
+	n.Crash()
+	if src.Remaining() != 0 {
+		t.Errorf("crash left %d samples queued", src.Remaining())
+	}
+	n.Reboot()
+	before := len(events)
+	sched.RunUntil(20 * time.Second)
+	// Only the end of the pre-crash usage (if any) may trail in; no new
+	// start may appear from flushed samples.
+	for _, e := range events[before:] {
+		if e.Kind == UsageStarted {
+			t.Errorf("ghost usage start after reboot: %+v", e)
+		}
+	}
+}

@@ -32,7 +32,14 @@ type PolicyFile struct {
 	Q        []float64 `json:"q"`
 }
 
-// SavePolicy writes a policy file atomically.
+// BackupSuffix is appended to a policy path to name the rotated previous
+// generation kept as a recovery fallback.
+const BackupSuffix = ".1"
+
+// SavePolicy writes a policy file atomically. The previous generation, if
+// any, is first rotated to path+BackupSuffix, so a policy file corrupted
+// after the fact (disk fault, torn copy) still has a one-generation-old
+// fallback next to it.
 func SavePolicy(path, user, activity string, table *rl.QTable, episodes int, epsilon float64) error {
 	f := PolicyFile{
 		Version:  policyVersion,
@@ -44,12 +51,31 @@ func SavePolicy(path, user, activity string, table *rl.QTable, episodes int, eps
 		Epsilon:  epsilon,
 		Q:        table.Values(),
 	}
+	if _, err := os.Stat(path); err == nil {
+		if err := os.Rename(path, path+BackupSuffix); err != nil {
+			return fmt.Errorf("store: rotating backup: %w", err)
+		}
+	}
 	return writeJSON(path, f)
 }
 
 // LoadPolicy reads and validates a policy file, returning the metadata
-// and a reconstructed Q-table.
+// and a reconstructed Q-table. If the primary file is unreadable or
+// malformed, the rotated backup (path+BackupSuffix) is tried before
+// giving up; the returned error then covers both attempts.
 func LoadPolicy(path string) (PolicyFile, *rl.QTable, error) {
+	f, table, err := loadPolicyFile(path)
+	if err == nil {
+		return f, table, nil
+	}
+	bf, btable, berr := loadPolicyFile(path + BackupSuffix)
+	if berr != nil {
+		return PolicyFile{}, nil, fmt.Errorf("%w (backup: %v)", err, berr)
+	}
+	return bf, btable, nil
+}
+
+func loadPolicyFile(path string) (PolicyFile, *rl.QTable, error) {
 	var f PolicyFile
 	if err := readJSON(path, &f); err != nil {
 		return PolicyFile{}, nil, err

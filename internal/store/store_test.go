@@ -3,6 +3,7 @@ package store
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"coreda/internal/adl"
@@ -60,6 +61,74 @@ func TestLoadPolicyRejectsCorruption(t *testing.T) {
 	}
 }
 
+func TestSavePolicyRotatesBackup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pol.json")
+	t1 := rl.NewQTable(1, 1, 1)
+	t2 := rl.NewQTable(1, 1, 2)
+	if err := SavePolicy(path, "u", "a", t1, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + BackupSuffix); !os.IsNotExist(err) {
+		t.Errorf("first save created a backup: %v", err)
+	}
+	if err := SavePolicy(path, "u", "a", t2, 2, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	f, table, err := loadPolicyFile(path + BackupSuffix)
+	if err != nil {
+		t.Fatalf("backup unreadable: %v", err)
+	}
+	if f.Episodes != 1 || table.Get(0, 0) != 1 {
+		t.Errorf("backup holds %+v, want the previous generation", f)
+	}
+}
+
+func TestLoadPolicyFallsBackToBackup(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pol.json")
+	t1 := rl.NewQTable(1, 1, 1)
+	t2 := rl.NewQTable(1, 1, 2)
+	if err := SavePolicy(path, "u", "a", t1, 1, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := SavePolicy(path, "u", "a", t2, 2, 0.4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the primary after the fact; the rotated backup must serve.
+	if err := os.WriteFile(path, []byte(`{"version":1,"states":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, table, err := LoadPolicy(path)
+	if err != nil {
+		t.Fatalf("no fallback to backup: %v", err)
+	}
+	if f.Episodes != 1 || table.Get(0, 0) != 1 {
+		t.Errorf("fallback loaded %+v, want the backup generation", f)
+	}
+
+	// Truncated-to-empty primary (torn copy) behaves the same.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadPolicy(path); err != nil {
+		t.Errorf("truncated primary not recovered: %v", err)
+	}
+
+	// With the backup gone too, the error must name both failures.
+	if err := os.Remove(path + BackupSuffix); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadPolicy(path)
+	if err == nil {
+		t.Fatal("corrupted policy with no backup accepted")
+	}
+	if !strings.Contains(err.Error(), "backup") {
+		t.Errorf("error does not mention the backup attempt: %v", err)
+	}
+}
+
 func TestProfileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "tanaka.json")
@@ -113,12 +182,14 @@ func TestAtomicWriteLeavesNoTempFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 {
-		names := make([]string, len(entries))
-		for i, e := range entries {
-			names[i] = e.Name()
-		}
-		t.Errorf("directory contains %v, want only pol.json", names)
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name()
+	}
+	// Repeated saves leave exactly the file and its rotated backup: no
+	// temp droppings.
+	if len(entries) != 2 || names[0] != "pol.json" || names[1] != "pol.json"+BackupSuffix {
+		t.Errorf("directory contains %v, want pol.json and its backup", names)
 	}
 }
 

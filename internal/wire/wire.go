@@ -73,6 +73,7 @@ var (
 	ErrOversized   = errors.New("wire: payload exceeds MaxPayload")
 	ErrUnknownType = errors.New("wire: unknown packet type")
 	ErrBadPayload  = errors.New("wire: payload length does not match packet type")
+	ErrBadField    = errors.New("wire: field value out of range")
 )
 
 // Packet is implemented by every message that can travel in a frame.
@@ -200,6 +201,9 @@ func (p *LEDCommand) parse(b []byte) error {
 	if len(b) != 8 {
 		return ErrBadPayload
 	}
+	if c := LEDColor(b[4]); c != LEDGreen && c != LEDRed {
+		return fmt.Errorf("%w: LED color %d", ErrBadField, b[4])
+	}
 	p.UID = binary.BigEndian.Uint16(b[0:])
 	p.Seq = binary.BigEndian.Uint16(b[2:])
 	p.Color = LEDColor(b[4])
@@ -256,6 +260,9 @@ func (p *Heartbeat) payload() []byte {
 func (p *Heartbeat) parse(b []byte) error {
 	if len(b) != 9 {
 		return ErrBadPayload
+	}
+	if b[8] > 100 {
+		return fmt.Errorf("%w: battery %d%%", ErrBadField, b[8])
 	}
 	p.UID = binary.BigEndian.Uint16(b[0:])
 	p.Seq = binary.BigEndian.Uint16(b[2:])

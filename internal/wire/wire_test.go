@@ -93,6 +93,31 @@ func TestDecodeRejectsWrongPayloadLength(t *testing.T) {
 	}
 }
 
+func TestDecodeRejectsBadFields(t *testing.T) {
+	// Frames that are well-formed at the framing layer (valid CRC) but
+	// carry field values no real node can produce.
+	build := func(typ byte, payload []byte) []byte {
+		f := append([]byte{Magic, Version, typ, byte(len(payload))}, payload...)
+		crc := CRC16(f[1:])
+		return append(f, byte(crc>>8), byte(crc))
+	}
+	tests := []struct {
+		name  string
+		frame []byte
+	}{
+		{"led color 0", build(byte(TypeLEDCommand), []byte{0, 2, 0, 3, 0, 5, 0, 250})},
+		{"led color 7", build(byte(TypeLEDCommand), []byte{0, 2, 0, 3, 7, 5, 0, 250})},
+		{"battery 101%", build(byte(TypeHeartbeat), []byte{0, 1, 0, 1, 0, 0, 0, 1, 101})},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.frame); !errors.Is(err, ErrBadField) {
+				t.Errorf("Decode error = %v, want ErrBadField", err)
+			}
+		})
+	}
+}
+
 func TestReaderWriterStream(t *testing.T) {
 	var buf bytes.Buffer
 	w := NewWriter(&buf)

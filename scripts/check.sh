@@ -25,4 +25,10 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+echo "== chaos soak (workers 1 vs 4 must match)"
+go run ./cmd/coreda-bench -workers 1 chaos > /tmp/coreda-soak-w1.txt
+go run ./cmd/coreda-bench -workers 4 chaos > /tmp/coreda-soak-w4.txt
+diff /tmp/coreda-soak-w1.txt /tmp/coreda-soak-w4.txt
+rm -f /tmp/coreda-soak-w1.txt /tmp/coreda-soak-w4.txt
+
 echo "ok"

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"coreda/internal/adl"
+	"coreda/internal/chaos"
 	"coreda/internal/persona"
 	"coreda/internal/sensornet"
 	"coreda/internal/signalgen"
@@ -32,6 +33,15 @@ type SimulationConfig struct {
 	// PromptLatency is how long the user takes to notice a reminder
 	// (zero = 2 s).
 	PromptLatency time.Duration
+	// Chaos, when non-nil, arms a deterministic fault injector on the
+	// medium: scripted frame faults plus scheduled node crash/reboot/drain
+	// events, all driven by Seed's "chaos" stream.
+	Chaos *chaos.Plan
+	// Supervision, when Interval > 0, turns on node-liveness supervision:
+	// nodes heartbeat at Interval, the gateway watches every node, and
+	// supervision transitions feed System.SetToolOnline (graceful
+	// degradation + caregiver alerts).
+	Supervision sensornet.SupervisionConfig
 }
 
 // SessionResult summarizes one simulated session.
@@ -57,6 +67,8 @@ type Simulation struct {
 	Gateway  *sensornet.Gateway
 	Medium   *sensornet.Medium
 	Timeline *Timeline
+	// Chaos is the armed fault injector (nil without SimulationConfig.Chaos).
+	Chaos *chaos.Injector
 
 	cfg       SimulationConfig
 	gen       *signalgen.Generator
@@ -147,16 +159,36 @@ func NewSimulation(cfg SimulationConfig) (*Simulation, error) {
 
 	// Sorted start order keeps the scheduler's event sequence — and with
 	// it every seeded run — bit-for-bit reproducible.
+	var uids []uint16
 	for _, id := range adl.SortedToolIDs(cfg.Activity.Tools) {
 		tool := cfg.Activity.Tools[id]
 		src := sensornet.NewSliceSource(nil, cfg.SignalNoise, sim.RNG(cfg.Seed, fmt.Sprintf("rest-%d", id)))
 		node := sensornet.NewNode(sensornet.NodeConfig{
-			UID:    uint16(id),
-			Sensor: tool.Sensor,
+			UID:       uint16(id),
+			Sensor:    tool.Sensor,
+			Heartbeat: cfg.Supervision.Interval,
 		}, s.Sched, s.Medium, src)
 		node.Start()
 		s.sources[id] = src
 		s.nodes[id] = node
+		uids = append(uids, uint16(id))
+	}
+
+	if cfg.Supervision.Interval > 0 {
+		s.Gateway.Watch(uids...)
+		s.Gateway.SetNodeStateHandler(func(uid uint16, online bool) {
+			system.SetToolOnline(ToolID(uid), online)
+		})
+		s.Gateway.StartSupervision(cfg.Supervision)
+	}
+
+	if cfg.Chaos != nil {
+		inj, err := chaos.New(cfg.Chaos, s.Sched, sim.RNG(cfg.Seed, "chaos"))
+		if err != nil {
+			return nil, err
+		}
+		inj.Arm(s.Medium)
+		s.Chaos = inj
 	}
 
 	actor, err := persona.NewActor(persona.ActorConfig{
@@ -249,13 +281,13 @@ func (s *Simulation) quiescent() bool {
 	if s.Actor != nil && s.Actor.Busy() {
 		return false
 	}
-	for _, src := range s.sources {
-		if src.Remaining() > 0 {
-			return false
+	for id, node := range s.nodes {
+		if !node.Running() {
+			// A crashed node can neither play out queued samples nor end a
+			// usage; waiting on it would spin the guard forever.
+			continue
 		}
-	}
-	for _, node := range s.nodes {
-		if node.InUse() {
+		if node.InUse() || s.sources[id].Remaining() > 0 {
 			return false
 		}
 	}

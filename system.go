@@ -61,6 +61,12 @@ type SystemConfig struct {
 	// DefaultMode is the mode auto-started sessions use (Hub routing,
 	// rtbridge); zero means ModeLearn.
 	DefaultMode Mode
+	// AssumeBlindSteps lets an assist session advance past a step whose
+	// tool's sensor is OFFLINE: after a reminder for the blind step goes
+	// unanswered for one more idle period, the step is presumed done and
+	// the session moves on, so one dead battery does not freeze the whole
+	// routine. Off by default (conservative: never assume).
+	AssumeBlindSteps bool
 	// InferSkips enables missed-detection recovery: when the "wrong"
 	// tool observed is exactly what the policy expects AFTER the
 	// expected step, the system infers that the expected step happened
@@ -85,6 +91,9 @@ type SystemConfig struct {
 	OnReminder func(Reminder)
 	// OnPraise is called for every praise (may be nil).
 	OnPraise func(Praise)
+	// OnAlert is called for every caregiver alert — a tool's sensor node
+	// declared offline, or its recovery (may be nil).
+	OnAlert func(CaregiverAlert)
 	// OnComplete is called when a session observes every step of the
 	// activity (may be nil).
 	OnComplete func()
@@ -106,6 +115,13 @@ type SystemStats struct {
 	// InferredSteps counts expected steps the sensors missed but the
 	// system inferred from the step that followed (skip recovery).
 	InferredSteps int
+	// DegradedEvents counts tool sensors declared offline; Recoveries
+	// counts them coming back.
+	DegradedEvents int
+	Recoveries     int
+	// PresumedSteps counts blind steps advanced past without a detection
+	// (AssumeBlindSteps).
+	PresumedSteps int
 }
 
 // System is the full CoReDA stack for one user and one activity.
@@ -132,6 +148,11 @@ type System struct {
 	outstanding bool
 	lastPrompt  Prompt
 
+	// offline marks tools whose sensor node the gateway supervision has
+	// declared dead; reminders about them escalate and, optionally, blind
+	// steps are presumed done (graceful degradation).
+	offline map[ToolID]bool
+
 	stats SystemStats
 }
 
@@ -151,6 +172,15 @@ func (d display) ShowPraise(p reminding.Praise) {
 	}
 }
 
+// alertSink adapts the System's OnAlert callback to reminding.AlertSink.
+type alertSink struct{ s *System }
+
+func (a alertSink) ShowAlert(al reminding.Alert) {
+	if a.s.cfg.OnAlert != nil {
+		a.s.cfg.OnAlert(al)
+	}
+}
+
 // NewSystem builds the stack on the given scheduler.
 func NewSystem(cfg SystemConfig, sched *sim.Scheduler) (*System, error) {
 	if cfg.Activity == nil {
@@ -159,7 +189,12 @@ func NewSystem(cfg SystemConfig, sched *sim.Scheduler) (*System, error) {
 	if err := cfg.Activity.Validate(); err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, sched: sched, rng: sim.RNG(cfg.Seed, "system")}
+	s := &System{
+		cfg:     cfg,
+		sched:   sched,
+		rng:     sim.RNG(cfg.Seed, "system"),
+		offline: make(map[ToolID]bool),
+	}
 
 	planner, err := core.NewPlanner(cfg.Activity, cfg.Planner, sim.RNG(cfg.Seed, "planner"))
 	if err != nil {
@@ -183,6 +218,7 @@ func NewSystem(cfg SystemConfig, sched *sim.Scheduler) (*System, error) {
 		return nil, err
 	}
 	s.remind = rem
+	rem.SetAlertSink(alertSink{s})
 	return s, nil
 }
 
@@ -215,6 +251,53 @@ func (s *System) Active() bool { return s.active }
 // HandleUsage consumes a gateway usage event; wire it as the
 // sensornet.Gateway handler.
 func (s *System) HandleUsage(e UsageEvent) { s.sensing.HandleUsage(e) }
+
+// SetToolOnline records a tool sensor's liveness, as reported by gateway
+// supervision (wire it via Hub.HandleNodeState or directly as the
+// gateway's node-state handler). Transitions raise a caregiver alert;
+// repeated reports of the same state are ignored.
+func (s *System) SetToolOnline(tool ToolID, online bool) {
+	if online != s.offline[tool] {
+		return // no transition
+	}
+	name := fmt.Sprintf("tool %d", int(tool))
+	if t, ok := s.cfg.Activity.Tool(tool); ok {
+		name = t.Name
+	}
+	if online {
+		delete(s.offline, tool)
+		s.stats.Recoveries++
+		s.remind.Alert(reminding.Alert{
+			At:        s.sched.Now(),
+			Tool:      tool,
+			Text:      fmt.Sprintf("Sensor node for the %s is back online.", name),
+			Recovered: true,
+		})
+		return
+	}
+	s.offline[tool] = true
+	s.stats.DegradedEvents++
+	s.remind.Alert(reminding.Alert{
+		At:   s.sched.Now(),
+		Tool: tool,
+		Text: fmt.Sprintf("Sensor node for the %s is OFFLINE — please check the node and its battery.", name),
+	})
+}
+
+// Degraded reports whether any tool sensor is currently offline.
+func (s *System) Degraded() bool { return len(s.offline) > 0 }
+
+// OfflineTools lists the tools whose sensors are currently offline, in
+// ascending ID order.
+func (s *System) OfflineTools() []ToolID {
+	var out []ToolID
+	for _, t := range adl.SortedToolIDs(s.cfg.Activity.Tools) {
+		if s.offline[t] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
 
 // StartSession begins a session in the given mode.
 func (s *System) StartSession(mode Mode) {
@@ -287,7 +370,14 @@ func (s *System) LoadPolicy(path string) error {
 	if table.NumStates() != s.planner.Table().NumStates() || table.NumActions() != s.planner.Table().NumActions() {
 		return fmt.Errorf("coreda: policy shape %dx%d does not match activity", table.NumStates(), table.NumActions())
 	}
-	return s.planner.Table().SetValues(table.Values())
+	if err := s.planner.Table().SetValues(table.Values()); err != nil {
+		return err
+	}
+	// Restore training progress too, so a reloaded system checkpoints
+	// byte-for-byte identically and resumed training continues the
+	// annealing schedule.
+	s.planner.Restore(f.Episodes, f.Epsilon)
+	return nil
 }
 
 // onStep receives extracted step events from the sensing subsystem.
@@ -341,6 +431,14 @@ func (s *System) onIdle(e sensing.StepEvent) {
 	if s.mode != ModeAssist || !s.hasExpected {
 		return
 	}
+	if s.cfg.AssumeBlindSteps && s.offline[s.expected.Tool] && s.outstanding {
+		// The expected tool's sensor is blind, so no detection can ever
+		// answer the reminder already issued. Presume the step done and
+		// move on rather than freezing the whole routine.
+		s.stats.PresumedSteps++
+		s.acceptStep(sensing.StepEvent{Step: adl.StepOf(s.expected.Tool), At: e.At}, false)
+		return
+	}
 	s.issueReminder(e.At, reminding.TriggerIdle, adl.NoTool)
 }
 
@@ -387,6 +485,11 @@ func (s *System) issueReminder(at time.Duration, trigger reminding.Trigger, wron
 	prompt := s.expected
 	if p, ok := s.session.DeliverablePrompt(); ok {
 		prompt = p
+	}
+	if s.offline[prompt.Tool] && prompt.Level != core.Specific {
+		// The tool's green LED cannot blink while its node is dead, so the
+		// remaining channels carry the full load: always go specific.
+		prompt.Level = core.Specific
 	}
 	r, err := s.remind.Remind(at, prompt, trigger, wrongTool)
 	if err != nil {
