@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|chaos|sweeps|all]
+//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|chaos|fleet|sweeps|all]
+//
+// The fleet workload (-households, -fleet-shards, -fleet-sessions,
+// -fleet-json) soaks the multi-tenant runtime of internal/fleet; its
+// stdout is deterministic and shard-count independent, while -fleet-json
+// records this run's wall-clock throughput.
 package main
 
 import (
@@ -23,6 +28,10 @@ func main() {
 	incidents := flag.Int("incidents", 30, "test samples per ADL for table 4 (paper: 30)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
 		"worker goroutines for multi-trial experiments (1 = fully sequential; output is identical at any value)")
+	households := flag.Int("households", 256, "simulated households for the fleet workload")
+	fleetShards := flag.Int("fleet-shards", 0, "fleet shard count (0 = GOMAXPROCS; stdout is identical at any value)")
+	fleetSessions := flag.Int("fleet-sessions", 4, "sessions per household for the fleet workload")
+	fleetJSON := flag.String("fleet-json", "", "write fleet throughput (events/sec, households/shard) to this JSON file")
 	flag.Parse()
 
 	which := "all"
@@ -127,6 +136,9 @@ func main() {
 		fmt.Print(experiments.RenderChaosSoak(soak))
 		return nil
 	})
+	run("fleet", func() error {
+		return runFleetBench(*seed, *households, *fleetShards, *fleetSessions, *workers, *fleetJSON)
+	})
 	run("sweeps", func() error {
 		noise, err := experiments.RunNoiseSweep(*seed, 25, *workers)
 		if err != nil {
@@ -147,7 +159,7 @@ func main() {
 	})
 
 	switch which {
-	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "chaos", "sweeps":
+	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "chaos", "fleet", "sweeps":
 	default:
 		fmt.Fprintf(os.Stderr, "coreda-bench: unknown experiment %q\n", which)
 		os.Exit(2)

@@ -1,0 +1,183 @@
+// Command coreda-fleet serves many households from one process: sensor
+// nodes connect over TCP, open with a hello frame naming their household
+// (cmd/coreda-node -household), and each household runs a full CoReDA
+// stack — its own scheduler, hub and learned policies — on one of a
+// fixed pool of shards (internal/fleet).
+//
+// Usage:
+//
+//	coreda-fleet [-addr :7100] [-shards N] [-dir fleet-policies]
+//	             [-activity tea-making] [-mode learn|assist] [-speed 1]
+//	             [-checkpoint 30s] [-evict 30m] [-default-household home]
+//	             [-seed 1] [-keep-learning]
+//	             [-read-timeout 2m] [-write-timeout 10s]
+//
+// Households are admitted lazily on their first event, recovering their
+// learned policy from <dir>/<household>.json when one exists; idle
+// households are checkpointed and evicted after -evict of virtual
+// inactivity, and every dirty household is batch-checkpointed each
+// -checkpoint of wall time. Nodes that never send a hello are served as
+// -default-household (empty drops their traffic), so legacy nodes keep
+// working. On SIGINT/SIGTERM every household is checkpointed before
+// exit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"coreda"
+	"coreda/internal/fleet"
+)
+
+// options collects the command-line configuration.
+type options struct {
+	addr             string
+	shards           int
+	dir              string
+	activityName     string
+	activityFile     string
+	mode             string
+	speed            float64
+	checkpoint       time.Duration
+	evict            time.Duration
+	defaultHousehold string
+	seed             int64
+	keepLearning     bool
+	readTimeout      time.Duration
+	writeTimeout     time.Duration
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7100", "listen address")
+	flag.IntVar(&o.shards, "shards", 0, "shard event loops households are hashed across (0 = GOMAXPROCS)")
+	flag.StringVar(&o.dir, "dir", "fleet-policies", "checkpoint directory (one policy file per household)")
+	flag.StringVar(&o.activityName, "activity", "tea-making", "activity every household is instrumented for")
+	flag.StringVar(&o.activityFile, "activity-file", "", "JSON activity declaration overriding -activity")
+	flag.StringVar(&o.mode, "mode", "learn", "session mode: learn or assist")
+	flag.Float64Var(&o.speed, "speed", 1, "simulated seconds per wall-clock second")
+	flag.DurationVar(&o.checkpoint, "checkpoint", 30*time.Second, "batch checkpoint interval, wall clock (negative disables)")
+	flag.DurationVar(&o.evict, "evict", 30*time.Minute, "evict households idle this long, virtual time (0 disables)")
+	flag.StringVar(&o.defaultHousehold, "default-household", "home", "household serving nodes that send no hello (empty drops them)")
+	flag.Int64Var(&o.seed, "seed", 1, "base seed; each household derives its own planner stream")
+	flag.BoolVar(&o.keepLearning, "keep-learning", false, "continue learning during assist sessions")
+	flag.DurationVar(&o.readTimeout, "read-timeout", 0, "per-connection read deadline, wall clock (0 disables)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 0, "per-connection write deadline, wall clock (0 disables)")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "coreda-fleet:", err)
+		os.Exit(1)
+	}
+}
+
+// console serializes output lines: reminders and fleet logs arrive from
+// shard and connection goroutines concurrently.
+type console struct{ mu sync.Mutex }
+
+func (c *console) printf(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fmt.Printf(format, args...)
+}
+
+func run(o options) error {
+	activity, err := resolveActivity(o.activityName, o.activityFile)
+	if err != nil {
+		return err
+	}
+	var mode coreda.Mode
+	switch o.mode {
+	case "learn":
+		mode = coreda.ModeLearn
+	case "assist":
+		mode = coreda.ModeAssist
+	default:
+		return fmt.Errorf("unknown mode %q", o.mode)
+	}
+
+	out := &console{}
+	f, err := fleet.New(fleet.Config{
+		Shards:    o.shards,
+		Dir:       o.dir,
+		IdleEvict: o.evict,
+		OnLog:     func(msg string) { out.printf("%s\n", msg) },
+		NewSystem: func(household string) (coreda.SystemConfig, error) {
+			return coreda.SystemConfig{
+				Activity:     activity,
+				UserName:     household,
+				DefaultMode:  mode,
+				KeepLearning: o.keepLearning,
+				Seed:         fleet.SeedFor(o.seed, household),
+				OnReminder: func(r coreda.Reminder) {
+					out.printf("[%s] REMINDER [%s, %s]: %s (picture %s)\n", household, r.Trigger, r.Level, r.Text, r.Picture)
+				},
+				OnPraise: func(p coreda.Praise) {
+					out.printf("[%s] PRAISE: %s\n", household, p.Text)
+				},
+				OnComplete: func() {
+					out.printf("[%s] activity %q completed\n", household, activity.Name)
+				},
+			}, nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := fleet.NewServer(f, fleet.ServeConfig{
+		Speed:            o.speed,
+		CheckpointEvery:  o.checkpoint,
+		DefaultHousehold: o.defaultHousehold,
+		ReadTimeout:      o.readTimeout,
+		WriteTimeout:     o.writeTimeout,
+		OnLog:            func(msg string) { out.printf("%s\n", msg) },
+	})
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	out.printf("coreda-fleet: %s on %s (%d shards, mode %s, speed %gx, dir %s)\n",
+		activity.Name, l.Addr(), f.Shards(), mode, o.speed, o.dir)
+	// The explicit line matters with -addr :0, where the OS picks the
+	// port: scripts and tests scrape the actually-bound address here.
+	out.printf("listening on %s\n", l.Addr())
+
+	go srv.Run()
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Stop()
+		f.Stop() // final checkpoint of every household
+		st := f.Stats()
+		out.printf("fleet stopped: %d events, %d admissions (%d recovered), %d evictions, %d checkpoints\n",
+			st.Events, st.Admissions, st.Recovered, st.Evictions, st.Checkpoints)
+		l.Close()
+	}()
+	return srv.Serve(l)
+}
+
+func resolveActivity(name, file string) (*coreda.Activity, error) {
+	if file != "" {
+		return coreda.LoadActivityFile(file)
+	}
+	for _, a := range []*coreda.Activity{
+		coreda.ToothBrushing(), coreda.TeaMaking(), coreda.HandWashing(), coreda.Medication(), coreda.Dressing(),
+	} {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown activity %q", name)
+}

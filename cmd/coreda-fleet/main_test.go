@@ -1,0 +1,209 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+	"coreda/internal/rtbridge"
+	"coreda/internal/store"
+)
+
+// procOutput collects a child process's combined output; safe for
+// concurrent writes from the process and polling reads from the test.
+type procOutput struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (p *procOutput) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.Write(b)
+}
+
+func (p *procOutput) String() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.String()
+}
+
+func awaitOutput(t *testing.T, out *procOutput, substr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), substr) {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %q in output:\n%s", substr, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// awaitAddr scrapes the bound address from the explicit "listening on"
+// line — the contract that makes -addr 127.0.0.1:0 usable in scripts.
+func awaitAddr(t *testing.T, out *procOutput) string {
+	t.Helper()
+	awaitOutput(t, out, "listening on 127.0.0.1:")
+	for _, line := range strings.Split(out.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	t.Fatalf("no listening line in output:\n%s", out.String())
+	return ""
+}
+
+func buildFleet(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "coreda-fleet")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func startFleetProc(t *testing.T, bin string, args ...string) (*exec.Cmd, *procOutput) {
+	t.Helper()
+	out := &procOutput{}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start fleet: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd, out
+}
+
+// driveSession plays one complete tea-making session for a household:
+// one node client per tool, all greeting with the same household.
+func driveSession(t *testing.T, addr, household string) {
+	t.Helper()
+	steps := coreda.TeaMaking().StepIDs()
+	nodes := map[adl.ToolID]*rtbridge.NodeClient{}
+	for _, step := range steps {
+		n, err := rtbridge.DialNode(addr, uint16(adl.ToolOf(step)), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		if err := n.Hello(household); err != nil {
+			t.Fatal(err)
+		}
+		nodes[adl.ToolOf(step)] = n
+	}
+	for _, step := range steps {
+		n := nodes[adl.ToolOf(step)]
+		if err := n.UseStart(time.Second, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.UseEnd(2*time.Second, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetServesAndCheckpointsHouseholds is the end-to-end acceptance
+// test: two households complete a session each over TCP, and a SIGTERM
+// leaves one recovered policy file per household behind — which a second
+// run then resumes from.
+func TestFleetServesAndCheckpointsHouseholds(t *testing.T) {
+	bin := buildFleet(t)
+	dir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0", "-speed", "200", "-shards", "4",
+		"-dir", dir, "-checkpoint", "-1s",
+	}
+
+	cmd, out := startFleetProc(t, bin, args...)
+	addr := awaitAddr(t, out)
+
+	driveSession(t, addr, "tanaka-42")
+	driveSession(t, addr, "suzuki-7")
+	awaitOutput(t, out, `activity "tea-making" completed`)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fleet exited uncleanly: %v\n%s", err, out.String())
+	}
+	awaitOutput(t, out, "fleet stopped")
+
+	for _, hh := range []string{"tanaka-42", "suzuki-7"} {
+		f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, hh+".json"))
+		if err != nil {
+			t.Fatalf("household %s checkpoint: %v", hh, err)
+		}
+		if f.User != hh || f.Activity != "tea-making" {
+			t.Errorf("checkpoint metadata = %+v", f)
+		}
+		if f.Policies[0].Episodes < 1 {
+			t.Errorf("household %s checkpointed %d episodes, want >= 1", hh, f.Policies[0].Episodes)
+		}
+	}
+
+	// Restart: the same household must be admitted from its checkpoint.
+	cmd2, out2 := startFleetProc(t, bin, args...)
+	addr2 := awaitAddr(t, out2)
+	driveSession(t, addr2, "tanaka-42")
+	awaitOutput(t, out2, "admitted tanaka-42 from checkpoint")
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("restarted fleet exited uncleanly: %v\n%s", err, out2.String())
+	}
+	f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "tanaka-42.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Policies[0].Episodes < 2 {
+		t.Errorf("resumed household has %d episodes, want >= 2", f.Policies[0].Episodes)
+	}
+}
+
+// TestFleetDefaultHousehold pins legacy compatibility: a node that never
+// says hello is served as the -default-household tenant.
+func TestFleetDefaultHousehold(t *testing.T) {
+	bin := buildFleet(t)
+	dir := t.TempDir()
+	cmd, out := startFleetProc(t, bin,
+		"-addr", "127.0.0.1:0", "-speed", "200", "-dir", dir,
+		"-default-household", "legacy", "-checkpoint", "-1s")
+	addr := awaitAddr(t, out)
+
+	n, err := rtbridge.DialNode(addr, uint16(adl.ToolTeaBox), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.UseStart(time.Second, 5); err != nil {
+		t.Fatal(err)
+	}
+	awaitOutput(t, out, "admitted legacy fresh")
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fleet exited uncleanly: %v\n%s", err, out.String())
+	}
+	if _, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "legacy.json")); err != nil {
+		t.Errorf("default household checkpoint: %v", err)
+	}
+}

@@ -7,7 +7,11 @@
 //
 //	coreda-node [-addr localhost:7007] [-activity tea-making]
 //	            [-sessions 3] [-severity 0.3] [-speed 1] [-seed 1]
-//	            [-heartbeat 10s]
+//	            [-heartbeat 10s] [-household tanaka-42]
+//
+// -household opens every node connection with a hello frame naming the
+// household, which multi-tenant coreda-fleet servers route on; plain
+// coreda-server acks and ignores it.
 //
 // speed scales the pacing: at -speed 10 a 4-second gesture takes 0.4
 // wall-clock seconds (use the same factor as the server).
@@ -39,9 +43,10 @@ func main() {
 	speed := flag.Float64("speed", 1, "pacing speed-up factor (match the server)")
 	seed := flag.Int64("seed", 1, "random seed")
 	heartbeat := flag.Duration("heartbeat", 0, "liveness beacon interval in activity time (0 disables)")
+	household := flag.String("household", "", "household to greet as (multi-tenant coreda-fleet servers route on it; empty sends no hello)")
 	flag.Parse()
 
-	if err := run(*addr, *activityName, *activityFile, *sessions, *severity, *speed, *seed, *heartbeat); err != nil {
+	if err := run(*addr, *activityName, *activityFile, *household, *sessions, *severity, *speed, *seed, *heartbeat); err != nil {
 		fmt.Fprintln(os.Stderr, "coreda-node:", err)
 		os.Exit(1)
 	}
@@ -53,7 +58,7 @@ type prompt struct {
 	specific bool
 }
 
-func run(addr, activityName, activityFile string, sessions int, severity, speed float64, seed int64, heartbeat time.Duration) error {
+func run(addr, activityName, activityFile, household string, sessions int, severity, speed float64, seed int64, heartbeat time.Duration) error {
 	activity, err := resolveActivity(activityName, activityFile)
 	if err != nil {
 		return err
@@ -85,6 +90,11 @@ func run(addr, activityName, activityFile string, sessions int, severity, speed 
 			return fmt.Errorf("dial node %d: %w", id, err)
 		}
 		defer n.Close()
+		if household != "" {
+			if err := n.Hello(household); err != nil {
+				return fmt.Errorf("hello from node %d: %w", id, err)
+			}
+		}
 		nodes[id] = n
 	}
 

@@ -140,6 +140,9 @@ func run(o options) error {
 		return err
 	}
 	fmt.Printf("coreda-server: %s on %s (mode %s, speed %gx)\n", activity.Name, l.Addr(), mode, speed)
+	// The explicit line matters with -addr :0, where the OS picks the
+	// port: scripts and tests scrape the actually-bound address here.
+	fmt.Printf("listening on %s\n", l.Addr())
 
 	go srv.Run()
 	quit := make(chan struct{})

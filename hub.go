@@ -18,9 +18,36 @@ type Hub struct {
 	sched   *sim.Scheduler
 	systems map[string]*System     // by activity name
 	byTool  map[adl.ToolID]*System // routing table
-	unknown func(UsageEvent)       // handler for unroutable events
+	unknown func(UnknownEvent)     // handler for unroutable events
 	// UnknownTools counts events for tools no activity claims.
 	UnknownTools int
+}
+
+// UnknownKind says what kind of gateway traffic concerned an unclaimed
+// tool.
+type UnknownKind int
+
+// Unknown traffic kinds.
+const (
+	// UnknownUsage is a usage event for an unclaimed tool.
+	UnknownUsage UnknownKind = iota + 1
+	// UnknownNodeState is a supervision transition for an unclaimed tool.
+	UnknownNodeState
+)
+
+// UnknownEvent describes gateway traffic for a tool no activity claims —
+// a usage event or a node-state transition. Both flow through the same
+// handler so a deployment (e.g. a fleet tenant logging misconfigured
+// nodes) observes every unroutable signal in one place.
+type UnknownEvent struct {
+	// Tool is the unclaimed tool the traffic concerned.
+	Tool ToolID
+	// Kind says which of the payload fields below is meaningful.
+	Kind UnknownKind
+	// Usage is the usage event (Kind == UnknownUsage).
+	Usage UsageEvent
+	// Online is the reported node state (Kind == UnknownNodeState).
+	Online bool
 }
 
 // NewHub creates an empty hub on the scheduler.
@@ -76,9 +103,10 @@ func (h *Hub) Systems() map[string]*System {
 	return out
 }
 
-// SetUnknownHandler installs a callback for events whose tool no activity
-// claims (e.g. a node joins before its activity is configured).
-func (h *Hub) SetUnknownHandler(fn func(UsageEvent)) { h.unknown = fn }
+// SetUnknownHandler installs a callback for traffic whose tool no
+// activity claims (e.g. a node joins before its activity is configured).
+// It receives usage events and node-state transitions alike.
+func (h *Hub) SetUnknownHandler(fn func(UnknownEvent)) { h.unknown = fn }
 
 // HandleUsage routes one gateway event to the owning activity's system.
 // Wire it as the sensornet.Gateway handler (or the rtbridge equivalent).
@@ -87,7 +115,7 @@ func (h *Hub) HandleUsage(e UsageEvent) {
 	if !ok {
 		h.UnknownTools++
 		if h.unknown != nil {
-			h.unknown(e)
+			h.unknown(UnknownEvent{Tool: e.Tool, Kind: UnknownUsage, Usage: e})
 		}
 		return
 	}
@@ -108,6 +136,9 @@ func (h *Hub) HandleNodeState(tool ToolID, online bool) {
 	sys, ok := h.byTool[tool]
 	if !ok {
 		h.UnknownTools++
+		if h.unknown != nil {
+			h.unknown(UnknownEvent{Tool: tool, Kind: UnknownNodeState, Online: online})
+		}
 		return
 	}
 	sys.SetToolOnline(tool, online)

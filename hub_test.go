@@ -61,11 +61,29 @@ func TestHubUnknownTool(t *testing.T) {
 	if _, err := hub.Add(SystemConfig{Activity: TeaMaking()}); err != nil {
 		t.Fatal(err)
 	}
-	var unknown []UsageEvent
-	hub.SetUnknownHandler(func(e UsageEvent) { unknown = append(unknown, e) })
+	var unknown []UnknownEvent
+	hub.SetUnknownHandler(func(e UnknownEvent) { unknown = append(unknown, e) })
 	hub.HandleUsage(UsageEvent{Tool: 99, Kind: sensornet.UsageStarted})
 	if hub.UnknownTools != 1 || len(unknown) != 1 {
 		t.Errorf("unknown = %d / %d", hub.UnknownTools, len(unknown))
+	}
+	if unknown[0].Kind != UnknownUsage || unknown[0].Tool != 99 || unknown[0].Usage.Kind != sensornet.UsageStarted {
+		t.Errorf("unknown usage event = %+v", unknown[0])
+	}
+
+	// Node-state transitions for unclaimed tools take the same callback
+	// path as usage events — a deployment watching for misconfigured
+	// nodes sees both.
+	hub.HandleNodeState(99, false)
+	hub.HandleNodeState(99, true)
+	if hub.UnknownTools != 3 || len(unknown) != 3 {
+		t.Errorf("after node-state: unknown = %d / %d", hub.UnknownTools, len(unknown))
+	}
+	if unknown[1].Kind != UnknownNodeState || unknown[1].Online || unknown[1].Tool != 99 {
+		t.Errorf("unknown offline event = %+v", unknown[1])
+	}
+	if unknown[2].Kind != UnknownNodeState || !unknown[2].Online {
+		t.Errorf("unknown online event = %+v", unknown[2])
 	}
 }
 

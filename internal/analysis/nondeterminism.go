@@ -15,6 +15,13 @@ import (
 // of "chaos", so the prefix match below leaves it out) and cmd/ (operator
 // binaries) legitimately touch the wall clock and are allowlisted by
 // omission.
+//
+// internal/fleet IS scoped: tenant admission, eviction and checkpointing
+// must be driven by tenant-virtual time or the shard-count parity gate
+// breaks. Its serving layer (serve.go) is the one sanctioned wall-to-
+// virtual boundary and marks each wall-clock line with a vet-ignore
+// directive, so any new undirected use of the wall clock in the package
+// is an error.
 var simScoped = []string{
 	"coreda/internal/core",
 	"coreda/internal/sim",
@@ -24,6 +31,7 @@ var simScoped = []string{
 	"coreda/internal/experiments",
 	"coreda/internal/persona",
 	"coreda/internal/baseline",
+	"coreda/internal/fleet",
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

@@ -25,15 +25,22 @@ var singleThreaded = []string{
 	"coreda/internal/experiments",
 }
 
-// concurrencyBoundary is the one package sanctioned to spawn goroutines
-// in the simulation stack: internal/parrun's bounded worker pool, which
-// keeps determinism by collecting results by trial index. Everything the
-// pool calls into still obeys the single-threaded rule.
-const concurrencyBoundary = "coreda/internal/parrun"
+// concurrencyBoundaries are the packages sanctioned to spawn goroutines
+// in the simulation stack: internal/parrun's bounded worker pool (which
+// keeps determinism by collecting results by trial index) and
+// internal/fleet's shard event loops (one goroutine per shard; each
+// tenant stays single-threaded inside its shard, and the shard-count
+// parity gate in scripts/check.sh proves the outcome is identical at any
+// pool size). Everything these pools call into still obeys the
+// single-threaded rule.
+var concurrencyBoundaries = []string{
+	"coreda/internal/parrun",
+	"coreda/internal/fleet",
+}
 
 // SchedOnly flags goroutine launches, sync primitives and channels inside
-// packages documented single-threaded. internal/parrun is the sanctioned
-// concurrency boundary and is exempt.
+// packages documented single-threaded. internal/parrun and internal/fleet
+// are the sanctioned concurrency boundaries and are exempt.
 var SchedOnly = &Analyzer{
 	Name: "schedonly",
 	Doc:  "forbid go statements, sync primitives and channels in single-threaded packages",
@@ -43,8 +50,10 @@ var SchedOnly = &Analyzer{
 func runSchedOnly(p *Pass) {
 	// Exact match only: "coreda" must not pull in every subpackage (the
 	// rtbridge and cmd/ trees are legitimately concurrent).
-	if p.ImportPath == concurrencyBoundary {
-		return
+	for _, b := range concurrencyBoundaries {
+		if p.ImportPath == b {
+			return
+		}
 	}
 	scoped := false
 	for _, s := range singleThreaded {

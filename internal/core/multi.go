@@ -125,13 +125,16 @@ func (m *MultiPlanner) Predict(observed []adl.StepID, prev, cur adl.StepID) (Pro
 	return m.planners[idx].Predict(prev, cur)
 }
 
-// SavePolicies persists every routine's learned policy to one file.
+// SavePolicies persists every routine's learned policy — Q-values plus
+// training progress — to one file.
 func (m *MultiPlanner) SavePolicies(path, user string) error {
 	tables := make([]*rl.QTable, len(m.planners))
+	states := make([]store.TrainState, len(m.planners))
 	for i, p := range m.planners {
 		tables[i] = p.Table()
+		states[i] = store.TrainState{Episodes: p.Episodes, Epsilon: p.Epsilon()}
 	}
-	return store.SaveMultiPolicy(path, user, m.activity.Name, m.set.Routines, tables)
+	return store.SaveMultiPolicy(path, user, m.activity.Name, m.set.Routines, tables, states)
 }
 
 // LoadMultiPlanner restores a multi-routine planner saved by SavePolicies.
@@ -155,6 +158,8 @@ func LoadMultiPlanner(path string, a *adl.Activity, cfg Config, rng *rand.Rand) 
 		if err := own.SetValues(t.Values()); err != nil {
 			return nil, err
 		}
+		// Resume the annealing schedule where the checkpoint left it.
+		m.planners[i].Restore(f.Policies[i].Episodes, f.Policies[i].Epsilon)
 	}
 	return m, nil
 }

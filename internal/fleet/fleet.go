@@ -1,0 +1,492 @@
+// Package fleet is CoReDA's multi-tenant serving runtime: it multiplexes
+// many households — each a full Hub + sim.Scheduler + learned policies —
+// across a fixed pool of shard event loops, so one process serves
+// thousands of homes instead of one.
+//
+// Concurrency model: households are hashed onto shards (ShardOf), and
+// each shard runs exactly one goroutine that owns every tenant resident
+// on it. A tenant therefore stays single-threaded, exactly as the
+// Hub/System contract requires; the shard loop is the only place its
+// scheduler is pumped. Tenants share no state, so a tenant's learned
+// policy depends only on its own event sequence — which is why per-tenant
+// policy files are byte-identical at any shard count (the repo's
+// signature determinism guarantee, gated in scripts/check.sh).
+//
+// Tenants are admitted lazily: the first event for an unknown household
+// builds its stack and, if a checkpoint file exists in Config.Dir,
+// restores the learned policy from it (crash recovery and idle-eviction
+// recovery share this path). Idle tenants are evicted with a final
+// checkpoint; periodic batch checkpointing flushes every dirty tenant of
+// a shard through the store's crash-safe rotation.
+//
+// Like parrun for the experiments layer, fleet is a sanctioned
+// concurrency boundary of the otherwise single-threaded simulation
+// stack; everything a shard loop calls into obeys the single-threaded
+// rule.
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"coreda"
+	"coreda/internal/reminding"
+	"coreda/internal/wire"
+)
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Shards is the number of shard event loops (and goroutines)
+	// households are hashed across. Zero means runtime.GOMAXPROCS(0).
+	Shards int
+	// Dir is the checkpoint directory: each household persists to
+	// <Dir>/<household>.json via the store's crash-safe rotation.
+	Dir string
+	// NewSystem builds the system configuration for a household admitted
+	// for the first time (or re-admitted after eviction). Required. The
+	// returned config's Seed should be derived from the household ID
+	// (see SeedFor) so every tenant learns on its own random stream.
+	NewSystem func(household string) (coreda.SystemConfig, error)
+	// LEDs, if non-nil, supplies the reminder-LED sink for each admitted
+	// household (the serving layer wires node connections through this).
+	// A non-nil SystemConfig.LEDs from NewSystem wins.
+	LEDs func(household string) reminding.LEDs
+	// IdleEvict evicts a tenant whose virtual clock has advanced this
+	// far past its last event, checkpointing it first. Eviction is
+	// driven purely by the tenant's own virtual time, so it happens
+	// identically at any shard count. Zero disables eviction.
+	IdleEvict time.Duration
+	// OnLog receives human-readable event lines. Calls are serialized
+	// across shards; may be nil.
+	OnLog func(string)
+}
+
+// EventKind says what a fleet event carries.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventUsage is a tool-usage report for a household.
+	EventUsage EventKind = iota + 1
+	// EventNodeState is a node-liveness transition for a household tool.
+	EventNodeState
+	// EventAdvance only advances the household's virtual clock (firing
+	// due timers, and the idle-eviction check) without delivering
+	// traffic.
+	EventAdvance
+)
+
+// Event is one unit of tenant traffic, routed to the owning shard.
+type Event struct {
+	// Household is the tenant the event belongs to.
+	Household string
+	// At is the event time on the household's virtual clock. Times must
+	// be non-decreasing per household.
+	At time.Duration
+	// Kind selects which of the fields below is meaningful.
+	Kind EventKind
+	// Usage is the usage event (EventUsage). Its At field is overwritten
+	// with the event's At.
+	Usage coreda.UsageEvent
+	// Tool and Online describe a node transition (EventNodeState).
+	Tool   coreda.ToolID
+	Online bool
+}
+
+// Stats aggregates fleet counters across shards.
+type Stats struct {
+	// Events counts usage events delivered to tenants.
+	Events int
+	// NodeStates counts node-liveness transitions delivered.
+	NodeStates int
+	// Admissions counts tenant spin-ups (first events and re-admissions
+	// after eviction); Recovered counts the admissions that restored a
+	// checkpoint file.
+	Admissions int
+	Recovered  int
+	// Evictions counts idle tenants checkpointed and released.
+	Evictions int
+	// Checkpoints counts policy files written (evictions included).
+	Checkpoints int
+	// RecoveryErrors counts admissions whose checkpoint file (and its
+	// backup) was unreadable; the tenant started fresh instead.
+	RecoveryErrors int
+	// Resident is the number of tenants in memory at snapshot time.
+	Resident int
+	// Dropped counts events discarded because their household ID was
+	// invalid or admission failed.
+	Dropped int
+}
+
+func (s *Stats) add(o Stats) {
+	s.Events += o.Events
+	s.NodeStates += o.NodeStates
+	s.Admissions += o.Admissions
+	s.Recovered += o.Recovered
+	s.Evictions += o.Evictions
+	s.Checkpoints += o.Checkpoints
+	s.RecoveryErrors += o.RecoveryErrors
+	s.Resident += o.Resident
+	s.Dropped += o.Dropped
+}
+
+// Fleet is the sharded household runtime. Build with New, call Start,
+// route traffic with Deliver, and Stop to drain and checkpoint.
+type Fleet struct {
+	cfg    Config
+	shards []*shard
+
+	mu      sync.Mutex // serializes OnLog and the lifecycle flags
+	started bool
+	stopped bool
+}
+
+// msg is one shard-loop work item: an event, or a control closure (Do,
+// flush, stop) run on the loop goroutine where tenants may be touched.
+type msg struct {
+	ev Event
+	fn func(*shard)
+}
+
+// shard is one event loop and the tenants resident on it. All fields are
+// owned by the loop goroutine after Start.
+type shard struct {
+	f       *Fleet
+	idx     int
+	in      chan msg
+	done    chan struct{}
+	quit    bool
+	tenants map[string]*Tenant
+	stats   Stats
+}
+
+// New validates the configuration and builds the shard pool.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("fleet: Config.Dir is required")
+	}
+	if cfg.NewSystem == nil {
+		return nil, fmt.Errorf("fleet: Config.NewSystem is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("fleet: creating checkpoint dir: %w", err)
+	}
+	f := &Fleet{cfg: cfg}
+	for i := 0; i < cfg.Shards; i++ {
+		f.shards = append(f.shards, &shard{
+			f:       f,
+			idx:     i,
+			in:      make(chan msg, 256),
+			done:    make(chan struct{}),
+			tenants: make(map[string]*Tenant),
+		})
+	}
+	return f, nil
+}
+
+// Shards returns the shard count households are hashed across.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Start spawns the shard event loops.
+func (f *Fleet) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started {
+		return
+	}
+	f.started = true
+	for _, s := range f.shards {
+		go s.run()
+	}
+}
+
+// Deliver routes one event to its household's shard, blocking while the
+// shard's queue is full (backpressure). Events for the same household
+// must come from one goroutine (or be externally ordered); their At
+// values must be non-decreasing.
+func (f *Fleet) Deliver(ev Event) error {
+	if !ValidHousehold(ev.Household) {
+		return fmt.Errorf("fleet: invalid household ID %q", ev.Household)
+	}
+	f.mu.Lock()
+	ok := f.started && !f.stopped
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: not running")
+	}
+	f.shards[ShardOf(ev.Household, len(f.shards))].in <- msg{ev: ev}
+	return nil
+}
+
+// Do runs fn on the household's shard loop, admitting the tenant if it
+// is not resident, and waits for it to finish. The tenant must not be
+// retained after fn returns.
+func (f *Fleet) Do(household string, fn func(*Tenant) error) error {
+	if !ValidHousehold(household) {
+		return fmt.Errorf("fleet: invalid household ID %q", household)
+	}
+	f.mu.Lock()
+	ok := f.started && !f.stopped
+	f.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: not running")
+	}
+	res := make(chan error, 1)
+	f.shards[ShardOf(household, len(f.shards))].in <- msg{fn: func(s *shard) {
+		t, err := s.admit(household)
+		if err != nil {
+			res <- err
+			return
+		}
+		res <- fn(t)
+	}}
+	return <-res
+}
+
+// barrier runs fn on every shard loop and waits for all of them.
+func (f *Fleet) barrier(fn func(*shard)) {
+	var wg sync.WaitGroup
+	wg.Add(len(f.shards))
+	for _, s := range f.shards {
+		s.in <- msg{fn: func(s *shard) {
+			defer wg.Done()
+			fn(s)
+		}}
+	}
+	wg.Wait()
+}
+
+// advanceAll moves every resident tenant's virtual clock to at least
+// `to`, firing due timers and the idle-eviction check. The serving layer
+// calls this from its wall-clock pump; it does not wait for completion.
+func (f *Fleet) advanceAll(to time.Duration) {
+	for _, s := range f.shards {
+		s.in <- msg{fn: func(s *shard) { s.advanceAll(to) }}
+	}
+}
+
+// Flush checkpoints every dirty tenant on every shard (batch per-shard
+// checkpointing) and waits for the writes to finish.
+func (f *Fleet) Flush() {
+	f.mu.Lock()
+	ok := f.started && !f.stopped
+	f.mu.Unlock()
+	if !ok {
+		return
+	}
+	f.barrier(func(s *shard) { s.flush() })
+}
+
+// Stats snapshots the aggregated counters (a barrier across shards).
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	running := f.started && !f.stopped
+	f.mu.Unlock()
+	var out Stats
+	if !running {
+		for _, s := range f.shards {
+			st := s.stats
+			st.Resident = len(s.tenants)
+			out.add(st)
+		}
+		return out
+	}
+	var mu sync.Mutex
+	f.barrier(func(s *shard) {
+		st := s.stats
+		st.Resident = len(s.tenants)
+		mu.Lock()
+		out.add(st)
+		mu.Unlock()
+	})
+	return out
+}
+
+// Stop drains every shard, checkpoints all remaining tenants, and joins
+// the loops. Deliver/Do/Flush fail or no-op afterwards.
+func (f *Fleet) Stop() {
+	f.mu.Lock()
+	if !f.started || f.stopped {
+		f.mu.Unlock()
+		return
+	}
+	f.stopped = true
+	f.mu.Unlock()
+	for _, s := range f.shards {
+		s.in <- msg{fn: func(s *shard) {
+			s.flush()
+			s.quit = true
+		}}
+	}
+	for _, s := range f.shards {
+		<-s.done
+	}
+}
+
+func (f *Fleet) log(format string, args ...any) {
+	if f.cfg.OnLog == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.OnLog(fmt.Sprintf(format, args...))
+}
+
+// run is the shard event loop: the single goroutine owning this shard's
+// tenants.
+func (s *shard) run() {
+	defer close(s.done)
+	for !s.quit {
+		m := <-s.in
+		if m.fn != nil {
+			m.fn(s)
+			continue
+		}
+		s.handle(m.ev)
+	}
+}
+
+// handle processes one event on the loop goroutine.
+func (s *shard) handle(ev Event) {
+	t, err := s.admit(ev.Household)
+	if err != nil {
+		s.stats.Dropped++
+		s.f.log("shard %d: admit %s: %v", s.idx, ev.Household, err)
+		return
+	}
+	// The tenant clock never goes backwards: a late event is processed
+	// at the tenant's current time (same policy as a real gateway, which
+	// stamps arrival time).
+	at := ev.At
+	if now := t.Sched.Now(); at < now {
+		at = now
+	}
+	t.Sched.RunUntil(at)
+	switch ev.Kind {
+	case EventUsage:
+		u := ev.Usage
+		u.At = at
+		t.Hub.HandleUsage(u)
+		t.lastEvent = at
+		t.dirty = true
+		s.stats.Events++
+	case EventNodeState:
+		t.Hub.HandleNodeState(ev.Tool, ev.Online)
+		t.lastEvent = at
+		t.dirty = true
+		s.stats.NodeStates++
+	case EventAdvance:
+		// Clock only; the eviction check below does the rest.
+	}
+	s.maybeEvict(t)
+}
+
+// admit returns the resident tenant, spinning it up from its checkpoint
+// file (or fresh) on first contact.
+func (s *shard) admit(household string) (*Tenant, error) {
+	if t, ok := s.tenants[household]; ok {
+		return t, nil
+	}
+	cfg, err := s.f.cfg.NewSystem(household)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.LEDs == nil && s.f.cfg.LEDs != nil {
+		cfg.LEDs = s.f.cfg.LEDs(household)
+	}
+	t, recovered, err := newTenant(household, cfg, s.f.policyPath(household))
+	if err != nil {
+		return nil, err
+	}
+	s.tenants[household] = t
+	s.stats.Admissions++
+	switch recovered {
+	case recoveredCheckpoint:
+		s.stats.Recovered++
+		s.f.log("shard %d: admitted %s from checkpoint (%d episodes)", s.idx, household, t.System.Planner().Episodes)
+	case recoveredFresh:
+		s.f.log("shard %d: admitted %s fresh", s.idx, household)
+	case recoveredError:
+		s.stats.RecoveryErrors++
+		s.f.log("shard %d: admitted %s fresh (checkpoint unusable: %v)", s.idx, household, t.loadErr)
+	}
+	return t, nil
+}
+
+// maybeEvict checkpoints and releases a tenant idle past the deadline on
+// its own virtual clock. Mid-session tenants are kept: a session in
+// flight pins the tenant.
+func (s *shard) maybeEvict(t *Tenant) {
+	d := s.f.cfg.IdleEvict
+	if d <= 0 || t.System.Active() {
+		return
+	}
+	if t.Sched.Now()-t.lastEvent < d {
+		return
+	}
+	if err := s.checkpoint(t); err != nil {
+		s.f.log("shard %d: evict %s: %v", s.idx, t.ID, err)
+		return // keep the tenant rather than lose its learning
+	}
+	delete(s.tenants, t.ID)
+	s.stats.Evictions++
+	s.f.log("shard %d: evicted %s (idle %v)", s.idx, t.ID, t.Sched.Now()-t.lastEvent)
+}
+
+// advanceAll pumps every resident tenant's clock to `to` and sweeps for
+// idle evictions. Iteration order is sorted for deterministic logs.
+func (s *shard) advanceAll(to time.Duration) {
+	for _, id := range sortedHouseholds(s.tenants) {
+		t := s.tenants[id]
+		if to > t.Sched.Now() {
+			t.Sched.RunUntil(to)
+		}
+		s.maybeEvict(t)
+	}
+}
+
+// flush checkpoints every dirty tenant (batch per-shard checkpointing).
+func (s *shard) flush() {
+	for _, id := range sortedHouseholds(s.tenants) {
+		if err := s.checkpoint(s.tenants[id]); err != nil {
+			s.f.log("shard %d: checkpoint %s: %v", s.idx, id, err)
+		}
+	}
+}
+
+// checkpoint persists the tenant if it has unsaved events.
+func (s *shard) checkpoint(t *Tenant) error {
+	if !t.dirty {
+		return nil
+	}
+	if err := t.save(s.f.policyPath(t.ID)); err != nil {
+		return err
+	}
+	t.dirty = false
+	s.stats.Checkpoints++
+	return nil
+}
+
+// ValidHousehold reports whether id is usable as a household ID: 1 to
+// wire.MaxHousehold bytes of letters, digits, '-', '_' or '.', not
+// starting with a dot (IDs double as checkpoint file names).
+func ValidHousehold(id string) bool {
+	if len(id) == 0 || len(id) > wire.MaxHousehold || id[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+)
+
+// testConfig is a minimal fleet over tea-making households in dir.
+func testConfig(dir string) Config {
+	return Config{
+		Shards: 2,
+		Dir:    dir,
+		NewSystem: func(household string) (coreda.SystemConfig, error) {
+			return coreda.SystemConfig{
+				Activity: adl.TeaMaking(),
+				UserName: household,
+				Seed:     SeedFor(7, household),
+			}, nil
+		},
+	}
+}
+
+// deliverSession drives one complete tea-making session (usage start/end
+// for every step, in order) for a household, starting at base.
+func deliverSession(t *testing.T, f *Fleet, household string, base time.Duration) time.Duration {
+	t.Helper()
+	activity := adl.TeaMaking()
+	now := base
+	for _, step := range activity.Steps {
+		now += 5 * time.Second
+		if err := f.Deliver(Event{
+			Household: household,
+			At:        now,
+			Kind:      EventUsage,
+			Usage:     coreda.UsageEvent{Tool: step.Tool, Kind: coreda.UsageStarted},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		now += 2 * time.Second
+		if err := f.Deliver(Event{
+			Household: household,
+			At:        now,
+			Kind:      EventUsage,
+			Usage:     coreda.UsageEvent{Tool: step.Tool, Kind: coreda.UsageEnded, Duration: 2 * time.Second},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return now
+}
+
+func TestLazyAdmissionAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	f, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	deliverSession(t, f, "tanaka", 0)
+	f.Flush()
+
+	if _, err := os.Stat(filepath.Join(dir, "tanaka.json")); err != nil {
+		t.Fatalf("no checkpoint after Flush: %v", err)
+	}
+	var episodes int
+	err = f.Do("tanaka", func(tn *Tenant) error {
+		episodes = tn.System.Planner().Episodes
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if episodes != 1 {
+		t.Errorf("episodes after one session = %d, want 1", episodes)
+	}
+	f.Stop()
+
+	st := f.Stats()
+	if st.Admissions != 1 || st.Recovered != 0 || st.Events != 8 || st.Checkpoints != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Resident != 1 {
+		t.Errorf("resident = %d, want 1", st.Resident)
+	}
+}
+
+func TestEvictionAndReadmission(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.IdleEvict = time.Minute
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	end := deliverSession(t, f, "sato", 0)
+
+	// Idle past the deadline: the tenant must checkpoint and leave.
+	if err := f.Deliver(Event{Household: "sato", At: end + 2*time.Minute, Kind: EventAdvance}); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Evictions != 1 || st.Resident != 0 || st.Checkpoints != 1 {
+		t.Fatalf("after idle gap: stats = %+v", st)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sato.json")); err != nil {
+		t.Fatalf("eviction wrote no checkpoint: %v", err)
+	}
+
+	// The next session re-admits from the checkpoint, training state
+	// intact.
+	deliverSession(t, f, "sato", end+3*time.Minute)
+	var episodes int
+	if err := f.Do("sato", func(tn *Tenant) error {
+		episodes = tn.System.Planner().Episodes
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if episodes != 2 {
+		t.Errorf("episodes after evict + re-admit + session = %d, want 2", episodes)
+	}
+	f.Stop()
+	st = f.Stats()
+	if st.Admissions != 2 || st.Recovered != 1 || st.RecoveryErrors != 0 {
+		t.Errorf("final stats = %+v", st)
+	}
+}
+
+func TestMidSessionTenantIsNotEvicted(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(dir)
+	cfg.IdleEvict = time.Minute
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+
+	// One step only: the session stays active.
+	if err := f.Deliver(Event{
+		Household: "abe",
+		At:        time.Second,
+		Kind:      EventUsage,
+		Usage:     coreda.UsageEvent{Tool: adl.ToolTeaBox, Kind: coreda.UsageStarted},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deliver(Event{Household: "abe", At: 10 * time.Minute, Kind: EventAdvance}); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Stats(); st.Evictions != 0 || st.Resident != 1 {
+		t.Errorf("mid-session tenant evicted: %+v", st)
+	}
+}
+
+func TestCorruptCheckpointStartsFresh(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ito.json"), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	deliverSession(t, f, "ito", 0)
+	f.Stop()
+	st := f.Stats()
+	if st.RecoveryErrors != 1 || st.Recovered != 0 || st.Admissions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Events != 8 {
+		t.Errorf("events = %d, want 8 (traffic must flow despite the bad file)", st.Events)
+	}
+}
+
+func TestDeliverRejectsInvalidHousehold(t *testing.T) {
+	f, err := New(testConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+	for _, id := range []string{"", ".hidden", "a/b", "x y", string(make([]byte, 100))} {
+		if err := f.Deliver(Event{Household: id, Kind: EventAdvance}); err == nil {
+			t.Errorf("household %q accepted", id)
+		}
+	}
+	if err := f.Deliver(Event{Household: "ok-1.A_b", Kind: EventAdvance}); err != nil {
+		t.Errorf("legal household rejected: %v", err)
+	}
+}
+
+func TestLifecycleGuards(t *testing.T) {
+	f, err := New(testConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Deliver(Event{Household: "a", Kind: EventAdvance}); err == nil {
+		t.Error("Deliver before Start accepted")
+	}
+	f.Start()
+	f.Stop()
+	f.Stop() // idempotent
+	if err := f.Deliver(Event{Household: "a", Kind: EventAdvance}); err == nil {
+		t.Error("Deliver after Stop accepted")
+	}
+	if err := f.Do("a", func(*Tenant) error { return nil }); err == nil {
+		t.Error("Do after Stop accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Dir: ""}); err == nil {
+		t.Error("missing Dir accepted")
+	}
+	if _, err := New(Config{Dir: t.TempDir()}); err == nil {
+		t.Error("missing NewSystem accepted")
+	}
+}

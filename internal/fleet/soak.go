@@ -1,0 +1,216 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+	"coreda/internal/parrun"
+	"coreda/internal/sim"
+)
+
+// SoakConfig parameterizes a fleet soak: N simulated households living
+// through tea-making sessions, with a mid-life idle gap that forces every
+// tenant through the evict → checkpoint → re-admit cycle.
+type SoakConfig struct {
+	// Seed drives every household's behaviour and learning. The same
+	// seed reproduces the same soak — same digest — at any shard count.
+	Seed int64
+	// Households is the number of simulated homes. Zero means 64.
+	Households int
+	// Sessions is how many tea-making sessions each household performs.
+	// Zero means 6.
+	Sessions int
+	// Shards is the fleet's shard count. Zero means GOMAXPROCS.
+	Shards int
+	// Dir is the checkpoint directory. It should start empty: stale
+	// policy files would both seed tenants and pollute the digest.
+	Dir string
+	// Workers bounds the parrun pool generating household streams.
+	// Zero means GOMAXPROCS.
+	Workers int
+	// IdleEvict is the fleet's idle-eviction deadline. Zero means 10
+	// minutes (the soak's mid-life gap jumps just past it).
+	IdleEvict time.Duration
+	// OnLog receives fleet log lines (may be nil).
+	OnLog func(string)
+}
+
+// SoakResult is what a soak run produced. Every field is deterministic
+// in (Seed, Households, Sessions) — including Digest, which must not
+// change with Shards or Workers.
+type SoakResult struct {
+	Households int
+	Shards     int
+	// Events is the number of usage events delivered.
+	Events int
+	// Stats is the fleet's counter snapshot after Stop.
+	Stats Stats
+	// Digest is a SHA-256 over the sorted checkpoint files: the fleet's
+	// shard-count parity gate compares this across shard counts.
+	Digest string
+}
+
+// Soak drives a fleet of simulated households and returns the
+// deterministic result. Each household's event stream is generated from
+// its own seeded random stream (in parallel via parrun), then delivered
+// round-robin so shards see heavily interleaved traffic; half-way
+// through, an idle gap evicts every tenant, so the digest also covers
+// checkpoint-on-evict and re-admission from disk.
+func Soak(cfg SoakConfig) (SoakResult, error) {
+	if cfg.Households <= 0 {
+		cfg.Households = 64
+	}
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 6
+	}
+	if cfg.IdleEvict <= 0 {
+		cfg.IdleEvict = 10 * time.Minute
+	}
+
+	streams, err := parrun.Map(cfg.Households, cfg.Workers, func(i int) ([]Event, error) {
+		return soakStream(cfg, soakHousehold(i)), nil
+	})
+	if err != nil {
+		return SoakResult{}, err
+	}
+
+	f, err := New(Config{
+		Shards:    cfg.Shards,
+		Dir:       cfg.Dir,
+		IdleEvict: cfg.IdleEvict,
+		OnLog:     cfg.OnLog,
+		NewSystem: func(household string) (coreda.SystemConfig, error) {
+			return coreda.SystemConfig{
+				Activity: adl.TeaMaking(),
+				UserName: household,
+				Seed:     SeedFor(cfg.Seed, household),
+			}, nil
+		},
+	})
+	if err != nil {
+		return SoakResult{}, err
+	}
+	f.Start()
+
+	// Round-robin across households: consecutive events on a shard
+	// almost always belong to different tenants, the worst case for any
+	// accidental cross-tenant coupling.
+	events, longest := 0, 0
+	for _, s := range streams {
+		if len(s) > longest {
+			longest = len(s)
+		}
+	}
+	for k := 0; k < longest; k++ {
+		for _, s := range streams {
+			if k >= len(s) {
+				continue
+			}
+			if err := f.Deliver(s[k]); err != nil {
+				f.Stop()
+				return SoakResult{}, err
+			}
+			if s[k].Kind == EventUsage {
+				events++
+			}
+		}
+	}
+	f.Stop()
+
+	digest, err := DigestDir(cfg.Dir)
+	if err != nil {
+		return SoakResult{}, err
+	}
+	return SoakResult{
+		Households: cfg.Households,
+		Shards:     f.Shards(),
+		Events:     events,
+		Stats:      f.Stats(),
+		Digest:     digest,
+	}, nil
+}
+
+// soakHousehold names household i.
+func soakHousehold(i int) string { return fmt.Sprintf("h%05d", i) }
+
+// soakStream generates one household's life: cfg.Sessions tea-making
+// sessions with jittered timing and occasional step-order variation,
+// plus a mid-life idle gap long enough to trigger eviction.
+func soakStream(cfg SoakConfig, household string) []Event {
+	rng := sim.RNG(cfg.Seed, "fleet/soak/"+household)
+	activity := adl.TeaMaking()
+	var (
+		out []Event
+		now time.Duration
+	)
+	for session := 0; session < cfg.Sessions; session++ {
+		if session == cfg.Sessions/2 && session > 0 {
+			// Mid-life: fall idle past the eviction deadline. The advance
+			// evicts the tenant; the next session re-admits it from its
+			// checkpoint file.
+			now += cfg.IdleEvict + time.Second
+			out = append(out, Event{Household: household, At: now, Kind: EventAdvance})
+		}
+		order := []int{0, 1, 2, 3}
+		if rng.Intn(3) == 0 {
+			j := rng.Intn(len(order) - 1)
+			order[j], order[j+1] = order[j+1], order[j]
+		}
+		for _, stepIdx := range order {
+			tool := activity.Steps[stepIdx].Tool
+			now += time.Duration(3+rng.Intn(5)) * time.Second
+			out = append(out, Event{
+				Household: household,
+				At:        now,
+				Kind:      EventUsage,
+				Usage:     coreda.UsageEvent{Tool: tool, Kind: coreda.UsageStarted},
+			})
+			dur := time.Duration(1+rng.Intn(2)) * time.Second
+			now += dur
+			out = append(out, Event{
+				Household: household,
+				At:        now,
+				Kind:      EventUsage,
+				Usage:     coreda.UsageEvent{Tool: tool, Kind: coreda.UsageEnded, Duration: dur},
+			})
+		}
+		now += 20 * time.Second // between sessions, well under the idle deadline
+	}
+	return out
+}
+
+// DigestDir hashes the checkpoint files of a directory (sorted by name,
+// rotated backups excluded) into a hex SHA-256. Two fleets that learned
+// the same policies produce the same digest — this is the comparator
+// behind the shard-count parity gate.
+func DigestDir(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+	"coreda/internal/rl"
+	"coreda/internal/sim"
+	"coreda/internal/store"
+)
+
+// Tenant is one resident household: a full CoReDA stack on its own
+// virtual clock. It is owned by its shard's loop goroutine — fleet users
+// only touch a Tenant inside Fleet.Do.
+type Tenant struct {
+	// ID is the household ID.
+	ID string
+	// Sched is the tenant's private virtual clock. All of the tenant's
+	// timers (idle watchdogs, reminder escalation) live here, which is
+	// what makes its behaviour independent of shard count and load.
+	Sched *sim.Scheduler
+	// Hub routes the household's gateway traffic by tool.
+	Hub *coreda.Hub
+	// System is the stack for the household's instrumented activity.
+	System *coreda.System
+
+	activity *coreda.Activity
+	// lastEvent is the virtual time of the last delivered event; the
+	// idle-eviction clock measures from here.
+	lastEvent time.Duration
+	// dirty marks events since the last checkpoint.
+	dirty bool
+	// loadErr records why a checkpoint could not be restored (the tenant
+	// then started fresh).
+	loadErr error
+}
+
+// recovery says how a tenant came up.
+type recovery int
+
+const (
+	// recoveredFresh: no checkpoint on disk, blank policy.
+	recoveredFresh recovery = iota
+	// recoveredCheckpoint: learned policy restored from the file.
+	recoveredCheckpoint
+	// recoveredError: a checkpoint existed but was unusable (see
+	// Tenant.loadErr); the tenant started fresh.
+	recoveredError
+)
+
+// newTenant builds the household stack and restores its checkpoint file
+// if one exists.
+func newTenant(id string, cfg coreda.SystemConfig, path string) (*Tenant, recovery, error) {
+	if cfg.Activity == nil {
+		return nil, 0, fmt.Errorf("fleet: NewSystem config for %q has no activity", id)
+	}
+	sched := sim.New()
+	hub := coreda.NewHub(sched)
+	sys, err := hub.Add(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	t := &Tenant{ID: id, Sched: sched, Hub: hub, System: sys, activity: cfg.Activity}
+	if !checkpointExists(path) {
+		return t, recoveredFresh, nil
+	}
+	if err := t.load(path); err != nil {
+		t.loadErr = err
+		return t, recoveredError, nil
+	}
+	return t, recoveredCheckpoint, nil
+}
+
+// checkpointExists reports whether a checkpoint (or its rotated backup —
+// a crash can leave only the backup behind) is on disk.
+func checkpointExists(path string) bool {
+	if _, err := os.Stat(path); err == nil {
+		return true
+	}
+	_, err := os.Stat(path + store.BackupSuffix)
+	return err == nil
+}
+
+// load restores the learned policy and training progress from a
+// checkpoint written by save.
+func (t *Tenant) load(path string) error {
+	f, _, tables, err := store.LoadMultiPolicy(path)
+	if err != nil {
+		return err
+	}
+	if f.Activity != t.activity.Name {
+		return fmt.Errorf("fleet: checkpoint %s is for activity %q, tenant runs %q", path, f.Activity, t.activity.Name)
+	}
+	if len(tables) != 1 {
+		return fmt.Errorf("fleet: checkpoint %s has %d policies, want 1", path, len(tables))
+	}
+	p := t.System.Planner()
+	own := p.Table()
+	if own.NumStates() != tables[0].NumStates() || own.NumActions() != tables[0].NumActions() {
+		return fmt.Errorf("fleet: checkpoint %s shape %dx%d does not match activity", path, tables[0].NumStates(), tables[0].NumActions())
+	}
+	if err := own.SetValues(tables[0].Values()); err != nil {
+		return err
+	}
+	p.Restore(f.Policies[0].Episodes, f.Policies[0].Epsilon)
+	return nil
+}
+
+// save checkpoints the learned policy — Q-values plus the annealing
+// state — through the store's crash-safe rotation.
+func (t *Tenant) save(path string) error {
+	p := t.System.Planner()
+	return store.SaveMultiPolicy(path, t.ID, t.activity.Name,
+		[]adl.Routine{t.activity.CanonicalRoutine()},
+		[]*rl.QTable{p.Table()},
+		[]store.TrainState{{Episodes: p.Episodes, Epsilon: p.Epsilon()}})
+}
+
+// policyPath is the checkpoint file of a household.
+func (f *Fleet) policyPath(household string) string {
+	return filepath.Join(f.cfg.Dir, household+".json")
+}
+
+// sortedHouseholds returns a shard's resident household IDs in lexical
+// order, for deterministic sweep and flush order.
+func sortedHouseholds(tenants map[string]*Tenant) []string {
+	out := make([]string, 0, len(tenants))
+	for id := range tenants {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -99,6 +99,22 @@ func (n *NodeClient) UseEnd(nodeTime, duration time.Duration) error {
 	})
 }
 
+// Hello introduces the node, naming the household it belongs to — the
+// routing handshake of multi-tenant servers (internal/fleet). Single
+// household servers ack it and serve as before, so sending a hello is
+// always safe.
+func (n *NodeClient) Hello(household string) error {
+	n.wm.Lock()
+	defer n.wm.Unlock()
+	n.seq++
+	return n.write(&wire.Hello{
+		UID:          n.uid,
+		Seq:          n.seq,
+		HelloVersion: wire.HelloVersion,
+		Household:    household,
+	})
+}
+
 // Heartbeat sends a liveness beacon.
 func (n *NodeClient) Heartbeat(uptime time.Duration) error {
 	n.wm.Lock()

@@ -135,8 +135,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		offline:  make(map[uint16]bool),
 	}
 	s.hub = coreda.NewHub(s.sched)
-	s.hub.SetUnknownHandler(func(e coreda.UsageEvent) {
-		s.log(fmt.Sprintf("usage from unknown tool %d", e.Tool))
+	s.hub.SetUnknownHandler(func(e coreda.UnknownEvent) {
+		switch e.Kind {
+		case coreda.UnknownNodeState:
+			s.log(fmt.Sprintf("node-state (online=%v) for unknown tool %d", e.Online, e.Tool))
+		default:
+			s.log(fmt.Sprintf("usage from unknown tool %d", e.Tool))
+		}
 	})
 	sys, err := s.AddActivity(cfg.System)
 	if err != nil {
@@ -340,6 +345,13 @@ func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
 	case *wire.Heartbeat:
 		s.register(pkt.UID, rp.conn)
 		s.touch(pkt.UID, now)
+	case *wire.Hello:
+		// This server hosts a single household, so the handshake only
+		// registers the node; the fleet server routes on it.
+		s.register(pkt.UID, rp.conn)
+		s.touch(pkt.UID, now)
+		s.ack(rp.conn, pkt.UID, pkt.Seq)
+		s.log(fmt.Sprintf("%7.1fs node %d hello (household %q ignored: single-household server)", now.Seconds(), pkt.UID, pkt.Household))
 	case *wire.Ack:
 		// LED command acknowledged; TCP already guarantees delivery.
 	}

@@ -20,11 +20,24 @@ type MultiPolicyFile struct {
 	Policies []PolicyFile `json:"policies"`
 }
 
-// SaveMultiPolicy writes a multi-routine policy atomically. routines and
-// tables must be parallel slices.
-func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables []*rl.QTable) error {
+// TrainState is the training progress persisted alongside each policy of
+// a multi-policy file, so a planner restored from checkpoint resumes its
+// annealing schedule instead of restarting exploration from scratch.
+type TrainState struct {
+	Episodes int
+	Epsilon  float64
+}
+
+// SaveMultiPolicy writes a multi-routine policy atomically, rotating the
+// previous generation to path+BackupSuffix first (same crash-safety
+// contract as SavePolicy). routines and tables must be parallel slices;
+// states may be nil (no training progress recorded) or parallel to them.
+func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables []*rl.QTable, states []TrainState) error {
 	if len(routines) != len(tables) {
 		return fmt.Errorf("store: %d routines but %d tables", len(routines), len(tables))
+	}
+	if states != nil && len(states) != len(tables) {
+		return fmt.Errorf("store: %d tables but %d train states", len(tables), len(states))
 	}
 	f := MultiPolicyFile{
 		Version:  multiPolicyVersion,
@@ -37,20 +50,44 @@ func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables
 			enc[j] = uint16(s)
 		}
 		f.Routines = append(f.Routines, enc)
-		f.Policies = append(f.Policies, PolicyFile{
+		p := PolicyFile{
 			Version:  policyVersion,
 			User:     user,
 			Activity: activity,
 			States:   tables[i].NumStates(),
 			Actions:  tables[i].NumActions(),
 			Q:        tables[i].Values(),
-		})
+		}
+		if states != nil {
+			p.Episodes = states[i].Episodes
+			p.Epsilon = states[i].Epsilon
+		}
+		f.Policies = append(f.Policies, p)
+	}
+	if err := rotateBackup(path); err != nil {
+		return err
 	}
 	return writeJSON(path, f)
 }
 
-// LoadMultiPolicy reads and validates a multi-routine policy.
+// LoadMultiPolicy reads and validates a multi-routine policy. If the
+// primary file is unreadable or malformed, the rotated backup
+// (path+BackupSuffix) is tried before giving up; the returned error then
+// covers both attempts. Per-policy training progress is in the returned
+// file's Policies[i].Episodes/Epsilon.
 func LoadMultiPolicy(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
+	f, routines, tables, err := loadMultiPolicyFile(path)
+	if err == nil {
+		return f, routines, tables, nil
+	}
+	bf, broutines, btables, berr := loadMultiPolicyFile(path + BackupSuffix)
+	if berr != nil {
+		return MultiPolicyFile{}, nil, nil, fmt.Errorf("%w (backup: %v)", err, berr)
+	}
+	return bf, broutines, btables, nil
+}
+
+func loadMultiPolicyFile(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
 	var f MultiPolicyFile
 	if err := readJSON(path, &f); err != nil {
 		return MultiPolicyFile{}, nil, nil, err

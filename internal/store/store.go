@@ -51,12 +51,24 @@ func SavePolicy(path, user, activity string, table *rl.QTable, episodes int, eps
 		Epsilon:  epsilon,
 		Q:        table.Values(),
 	}
-	if _, err := os.Stat(path); err == nil {
-		if err := os.Rename(path, path+BackupSuffix); err != nil {
-			return fmt.Errorf("store: rotating backup: %w", err)
-		}
+	if err := rotateBackup(path); err != nil {
+		return err
 	}
 	return writeJSON(path, f)
+}
+
+// rotateBackup moves the previous generation of path, if any, to
+// path+BackupSuffix. Save paths call it before writing so a file
+// corrupted after the fact (disk fault, torn copy) still has a
+// one-generation-old fallback next to it.
+func rotateBackup(path string) error {
+	if _, err := os.Stat(path); err != nil {
+		return nil
+	}
+	if err := os.Rename(path, path+BackupSuffix); err != nil {
+		return fmt.Errorf("store: rotating backup: %w", err)
+	}
+	return nil
 }
 
 // LoadPolicy reads and validates a policy file, returning the metadata

@@ -225,7 +225,7 @@ func TestMultiPolicyRoundTrip(t *testing.T) {
 	t2 := rl.NewQTable(25, 8, 0)
 	t2.Set(3, 4, 9)
 
-	if err := SaveMultiPolicy(path, "u", dress.Name, []adl.Routine{r1, r2}, []*rl.QTable{t1, t2}); err != nil {
+	if err := SaveMultiPolicy(path, "u", dress.Name, []adl.Routine{r1, r2}, []*rl.QTable{t1, t2}, []TrainState{{Episodes: 12, Epsilon: 0.07}, {Episodes: 3, Epsilon: 0.21}}); err != nil {
 		t.Fatal(err)
 	}
 	f, routines, tables, err := LoadMultiPolicy(path)
@@ -234,6 +234,9 @@ func TestMultiPolicyRoundTrip(t *testing.T) {
 	}
 	if f.Activity != dress.Name || f.User != "u" {
 		t.Errorf("metadata = %+v", f)
+	}
+	if f.Policies[0].Episodes != 12 || f.Policies[0].Epsilon != 0.07 || f.Policies[1].Episodes != 3 {
+		t.Errorf("training state lost: %+v / %+v", f.Policies[0], f.Policies[1])
 	}
 	if len(routines) != 2 || !routines[1].Equal(r2) {
 		t.Errorf("routines = %v", routines)
@@ -247,8 +250,11 @@ func TestMultiPolicyValidation(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "m.json")
 	r := adl.TeaMaking().CanonicalRoutine()
-	if err := SaveMultiPolicy(path, "u", "a", []adl.Routine{r}, nil); err == nil {
+	if err := SaveMultiPolicy(path, "u", "a", []adl.Routine{r}, nil, nil); err == nil {
 		t.Error("mismatched slice lengths accepted")
+	}
+	if err := SaveMultiPolicy(path, "u", "a", []adl.Routine{r}, []*rl.QTable{rl.NewQTable(2, 2, 0)}, []TrainState{{}, {}}); err == nil {
+		t.Error("mismatched states length accepted")
 	}
 	os.WriteFile(path, []byte(`{"version":9}`), 0o644)
 	if _, _, _, err := LoadMultiPolicy(path); err == nil {

@@ -28,6 +28,8 @@ func corpusPackets() []Packet {
 		&LEDCommand{UID: 2, Seq: 2, Color: LEDRed, Blinks: 255, PeriodMs: 65535},
 		&LEDCommand{UID: 3, Seq: 3, Color: LEDRed, Blinks: 1, PeriodMs: 1},
 		&Heartbeat{UID: 65535, Seq: 255, UptimeMs: 4294967295, Battery: 100},
+		&Hello{UID: 1, Seq: 1, HelloVersion: HelloVersion},
+		&Hello{UID: 65535, Seq: 65535, HelloVersion: HelloVersion, Household: strings.Repeat("h", MaxHousehold)},
 	)
 	return pkts
 }
@@ -71,6 +73,8 @@ func hostileSeeds() []struct {
 		{"led-bad-color", rawFrame(byte(TypeLEDCommand), []byte{0, 2, 0, 3, 7, 5, 0, 250})},
 		{"battery-overflow", rawFrame(byte(TypeHeartbeat), []byte{0, 1, 0, 1, 0, 0, 0, 1, 101})},
 		{"empty-payload", rawFrame(byte(TypeUsageStart), nil)},
+		{"hello-version-zero", rawFrame(byte(TypeHello), []byte{0, 1, 0, 1, 0, 2, 'h', 'h'})},
+		{"hello-truncated-household", rawFrame(byte(TypeHello), []byte{0, 1, 0, 1, 1, 40, 'h'})},
 	}
 }
 

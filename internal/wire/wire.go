@@ -44,6 +44,12 @@ const (
 	// TypeHeartbeat is sent periodically by nodes so the gateway can
 	// track liveness.
 	TypeHeartbeat Type = 0x05
+	// TypeHello is sent by a node right after connecting to announce
+	// which household it belongs to, so a multi-tenant gateway
+	// (internal/fleet) can route the connection to the owning tenant.
+	// Nodes that never send it are routed to the server's default
+	// household, which keeps pre-hello nodes working unchanged.
+	TypeHello Type = 0x06
 )
 
 // String returns the packet type name.
@@ -59,6 +65,8 @@ func (t Type) String() string {
 		return "ack"
 	case TypeHeartbeat:
 		return "heartbeat"
+	case TypeHello:
+		return "hello"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", byte(t))
 	}
@@ -271,6 +279,67 @@ func (p *Heartbeat) parse(b []byte) error {
 	return nil
 }
 
+// HelloVersion is the current hello schema version. The hello carries
+// its own version byte — independent of the frame Version — so the
+// household handshake can evolve without a flag day for the whole
+// protocol: a vN parser accepts hellos from any vM >= N node, ignoring
+// fields appended after the ones it knows.
+const HelloVersion = 1
+
+// MaxHousehold is the longest household ID a hello may carry (the
+// payload budget minus the fixed hello fields).
+const MaxHousehold = MaxPayload - 6
+
+// Hello announces a node's household membership. It should be the first
+// packet a node sends on a connection; a multi-tenant gateway routes all
+// subsequent traffic on the connection to that household.
+type Hello struct {
+	UID          uint16
+	Seq          uint16
+	HelloVersion uint8  // schema version of this hello (>= 1)
+	Household    string // household ID, at most MaxHousehold bytes
+}
+
+// Type implements Packet.
+func (*Hello) Type() Type { return TypeHello }
+
+func (p *Hello) payload() []byte {
+	b := make([]byte, 6, 6+len(p.Household))
+	binary.BigEndian.PutUint16(b[0:], p.UID)
+	binary.BigEndian.PutUint16(b[2:], p.Seq)
+	b[4] = p.HelloVersion
+	b[5] = byte(len(p.Household))
+	return append(b, p.Household...)
+}
+
+func (p *Hello) parse(b []byte) error {
+	if len(b) < 6 {
+		return ErrBadPayload
+	}
+	ver := b[4]
+	if ver == 0 {
+		return fmt.Errorf("%w: hello version 0", ErrBadField)
+	}
+	n := int(b[5])
+	if n > MaxHousehold {
+		return fmt.Errorf("%w: household length %d", ErrBadField, n)
+	}
+	// Version 1 payloads end exactly after the household; later versions
+	// may append fields, which a v1 parser skips (backward compatibility
+	// half of the versioned handshake).
+	if ver == 1 && len(b) != 6+n {
+		return ErrBadPayload
+	}
+	if len(b) < 6+n {
+		return ErrBadPayload
+	}
+	p.UID = binary.BigEndian.Uint16(b[0:])
+	p.Seq = binary.BigEndian.Uint16(b[2:])
+	p.HelloVersion = ver
+	p.Household = string(b[6 : 6+n])
+	return nil
+}
+
 // newPacket allocates an empty packet of the given type.
 func newPacket(t Type) (Packet, error) {
 	switch t {
@@ -284,6 +353,8 @@ func newPacket(t Type) (Packet, error) {
 		return &Ack{}, nil
 	case TypeHeartbeat:
 		return &Heartbeat{}, nil
+	case TypeHello:
+		return &Hello{}, nil
 	default:
 		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, byte(t))
 	}

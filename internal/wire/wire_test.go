@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -16,6 +17,7 @@ func samplePackets() []Packet {
 		&LEDCommand{UID: 24, Seq: 3, Color: LEDGreen, Blinks: 5, PeriodMs: 250},
 		&Ack{UID: 24, Seq: 3},
 		&Heartbeat{UID: 11, Seq: 99, UptimeMs: 3600000, Battery: 87},
+		&Hello{UID: 21, Seq: 1, HelloVersion: HelloVersion, Household: "tanaka-42"},
 	}
 }
 
@@ -115,6 +117,65 @@ func TestDecodeRejectsBadFields(t *testing.T) {
 				t.Errorf("Decode error = %v, want ErrBadField", err)
 			}
 		})
+	}
+}
+
+func TestHelloVersioning(t *testing.T) {
+	build := func(typ byte, payload []byte) []byte {
+		f := append([]byte{Magic, Version, typ, byte(len(payload))}, payload...)
+		crc := CRC16(f[1:])
+		return append(f, byte(crc>>8), byte(crc))
+	}
+	hello := func(ver byte, household string, extra ...byte) []byte {
+		payload := []byte{0, 9, 0, 1, ver, byte(len(household))}
+		payload = append(payload, household...)
+		payload = append(payload, extra...)
+		return build(byte(TypeHello), payload)
+	}
+
+	// A v2 hello with fields appended after the household must still
+	// parse on this v1 implementation — that is the forward half of the
+	// handshake's compatibility contract.
+	p, err := Decode(hello(2, "home-7", 0xAA, 0xBB))
+	if err != nil {
+		t.Fatalf("v2 hello with trailing fields: %v", err)
+	}
+	h, ok := p.(*Hello)
+	if !ok || h.Household != "home-7" || h.HelloVersion != 2 {
+		t.Errorf("v2 hello decoded to %+v", p)
+	}
+
+	// A v1 hello must end exactly after the household: trailing bytes in
+	// a frame claiming v1 are corruption, not extension.
+	if _, err := Decode(hello(1, "home-7", 0xAA)); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("v1 hello with trailing bytes: %v, want ErrBadPayload", err)
+	}
+	// Hello version 0 does not exist.
+	if _, err := Decode(hello(0, "home-7")); !errors.Is(err, ErrBadField) {
+		t.Errorf("v0 hello: %v, want ErrBadField", err)
+	}
+	// A declared household longer than the payload actually carries.
+	if _, err := Decode(build(byte(TypeHello), []byte{0, 9, 0, 1, 1, 40, 'x'})); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("short household: %v, want ErrBadPayload", err)
+	}
+	// Empty household is legal: it means "the default household".
+	if p, err := Decode(hello(1, "")); err != nil {
+		t.Errorf("empty household: %v", err)
+	} else if p.(*Hello).Household != "" {
+		t.Errorf("empty household decoded to %+v", p)
+	}
+	// Longest representable household round-trips; anything longer is
+	// rejected at encode time by the payload budget.
+	long := strings.Repeat("h", MaxHousehold)
+	frame, err := Encode(&Hello{UID: 1, Seq: 1, HelloVersion: 1, Household: long})
+	if err != nil {
+		t.Fatalf("max household: %v", err)
+	}
+	if p, err := Decode(frame); err != nil || p.(*Hello).Household != long {
+		t.Errorf("max household round-trip: %v, %+v", err, p)
+	}
+	if _, err := Encode(&Hello{UID: 1, Seq: 1, HelloVersion: 1, Household: long + "h"}); !errors.Is(err, ErrOversized) {
+		t.Errorf("oversized household: %v, want ErrOversized", err)
 	}
 }
 

@@ -3,6 +3,8 @@
 # the parallel-runner benchmark (workers=1 vs 4) plus the planner/learner
 # micro-benchmarks and records the numbers in BENCH_experiments.json,
 # together with the host CPU budget that bounds any parallel speedup.
+# Also soaks the multi-tenant fleet runtime and records its throughput
+# (events/sec, households/shard) in BENCH_fleet.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,3 +38,9 @@ echo "$raw"
 } > "$out"
 
 echo "wrote $out"
+
+# Fleet throughput: 1000 households through the sharded runtime at the
+# host's natural shard count. The deterministic soak outcome goes to
+# stdout; the wall-clock numbers land in the JSON.
+go run ./cmd/coreda-bench -households 1000 -fleet-json BENCH_fleet.json fleet
+echo "wrote BENCH_fleet.json"

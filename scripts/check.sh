@@ -31,4 +31,18 @@ go run ./cmd/coreda-bench -workers 4 chaos > /tmp/coreda-soak-w4.txt
 diff /tmp/coreda-soak-w1.txt /tmp/coreda-soak-w4.txt
 rm -f /tmp/coreda-soak-w1.txt /tmp/coreda-soak-w4.txt
 
+# Shard-count parity gate: a race-enabled 1000-household fleet soak must
+# produce byte-identical output (stats + policy digest; stdout
+# deliberately omits the shard count) whether the tenants share one shard
+# event loop or are spread across eight. This is the end-to-end proof
+# that internal/fleet's concurrency never leaks into what a household
+# learns.
+echo "== fleet soak (shards 1 vs 4 vs 8 must match, race-enabled)"
+for n in 1 4 8; do
+    go run -race ./cmd/coreda-bench -households 1000 -fleet-shards "$n" fleet > "/tmp/coreda-fleet-s$n.txt"
+done
+diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-s4.txt
+diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-s8.txt
+rm -f /tmp/coreda-fleet-s{1,4,8}.txt
+
 echo "ok"
