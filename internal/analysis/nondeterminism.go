@@ -63,11 +63,21 @@ var allowedRandNames = map[string]bool{
 	"Zipf":      true,
 }
 
-// Nondeterminism flags wall-clock time and global-source randomness in
-// simulation-facing packages.
+// Nondeterminism flags wall-clock time, global-source randomness and
+// sync.Pool buffer reuse in simulation-facing packages.
+//
+// sync.Pool is in the forbidden set because which pooled object a Get
+// returns depends on GC timing and goroutine scheduling: harmless for
+// write-through byte buffers that every use fully overwrites (the
+// serving-layer pattern in internal/wire), but a reproducibility hazard
+// anywhere an experiment result could observe the reused object.
+// DESIGN.md §12 records the policy: pooling is sanctioned only in the
+// serving layer (wire, rtbridge, fleet's serving path) and any use
+// inside a scoped package must carry a vet-ignore directive arguing why
+// reuse cannot be observed.
 var Nondeterminism = &Analyzer{
 	Name: "nondeterminism",
-	Doc:  "forbid time.Now/Sleep/... and global rand.* in simulation-facing packages",
+	Doc:  "forbid time.Now/Sleep/..., global rand.* and sync.Pool in simulation-facing packages",
 	Run:  runNondeterminism,
 }
 
@@ -77,11 +87,12 @@ func runNondeterminism(p *Pass) {
 	}
 	for _, f := range p.Files {
 		timeName, timeImported := importName(f, "time")
+		syncName, syncImported := importName(f, "sync")
 		randName, randImported := importName(f, "math/rand")
 		if !randImported {
 			randName, randImported = importName(f, "math/rand/v2")
 		}
-		if !timeImported && !randImported {
+		if !timeImported && !randImported && !syncImported {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -100,6 +111,8 @@ func runNondeterminism(p *Pass) {
 				p.Reportf(sel.Pos(), "time.%s reads the wall clock: simulation code must take time from sim.Scheduler", sel.Sel.Name)
 			case randImported && ident.Name == randName && !allowedRandNames[sel.Sel.Name]:
 				p.Reportf(sel.Pos(), "global rand.%s: all randomness must flow through a seeded *rand.Rand (use sim.RNG)", sel.Sel.Name)
+			case syncImported && ident.Name == syncName && sel.Sel.Name == "Pool":
+				p.Reportf(sel.Pos(), "sync.Pool reuse depends on GC timing: pooling is sanctioned only in the serving layer (DESIGN.md §12)")
 			}
 			return true
 		})

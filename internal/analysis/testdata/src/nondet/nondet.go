@@ -4,6 +4,7 @@ package nondet
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -48,4 +49,16 @@ func shadowed() int {
 func suppressed() time.Time {
 	//coreda:vet-ignore nondeterminism fixture exercising the ignore directive
 	return time.Now()
+}
+
+// Pooled-object reuse order is GC-dependent: forbidden in scoped code.
+var pooled = sync.Pool{New: func() any { return new(int) }} // want `sync\.Pool reuse depends on GC timing`
+
+// Other sync primitives stay legal in scoped packages.
+var mu sync.Mutex
+
+func locked() {
+	mu.Lock()
+	defer mu.Unlock()
+	_ = pooled
 }

@@ -4,9 +4,13 @@ package allowed
 
 import (
 	"math/rand"
+	"sync"
 	"time"
 )
 
 func now() time.Time { return time.Now() }
 
 func jitter() time.Duration { return time.Duration(rand.Intn(10)) * time.Millisecond }
+
+// The serving layer may pool write-through frame buffers.
+var frameBufs = sync.Pool{New: func() any { return new([]byte) }}

@@ -1,0 +1,56 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+)
+
+// BenchmarkShardIngest measures the shard event loop's per-event cost —
+// delivery, tenant lookup, virtual-clock advance, Hub dispatch and
+// dirty-set tracking — with checkpointing left out of the loop (no
+// flushes, no eviction). Traffic round-robins across households, the
+// worst case for the shard's last-tenant cache.
+func BenchmarkShardIngest(b *testing.B) {
+	cfg := testConfig(b.TempDir())
+	cfg.Shards = 1
+	f, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+
+	const households = 16
+	ids := make([]string, households)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("bench-%03d", i)
+	}
+	tool := adl.TeaMaking().Steps[0].Tool
+	// Admit every household outside the timer; Stats is a shard barrier,
+	// so admissions have finished when it returns.
+	for _, id := range ids {
+		if err := f.Deliver(Event{Household: id, Kind: EventAdvance}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f.Stats()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := Event{
+			Household: ids[i%households],
+			At:        time.Duration(i) * time.Millisecond,
+			Kind:      EventUsage,
+			Usage:     coreda.UsageEvent{Tool: tool, Kind: coreda.UsageStarted},
+		}
+		if err := f.Deliver(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	f.Stats() // barrier: the shard has drained its queue
+}

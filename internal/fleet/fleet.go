@@ -29,11 +29,16 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coreda"
+	"coreda/internal/parrun"
 	"coreda/internal/reminding"
+	"coreda/internal/store"
 	"coreda/internal/wire"
 )
 
@@ -133,15 +138,24 @@ func (s *Stats) add(o Stats) {
 	s.Dropped += o.Dropped
 }
 
+// Fleet lifecycle states (Fleet.state).
+const (
+	fleetBuilt uint32 = iota
+	fleetStarted
+	fleetStopped
+)
+
 // Fleet is the sharded household runtime. Build with New, call Start,
 // route traffic with Deliver, and Stop to drain and checkpoint.
 type Fleet struct {
 	cfg    Config
 	shards []*shard
 
-	mu      sync.Mutex // serializes OnLog and the lifecycle flags
-	started bool
-	stopped bool
+	// state is the lifecycle flag, atomic so the per-event Deliver fast
+	// path does not serialize every caller through a mutex.
+	state atomic.Uint32
+
+	mu sync.Mutex // serializes OnLog
 }
 
 // msg is one shard-loop work item: an event, or a control closure (Do,
@@ -161,7 +175,56 @@ type shard struct {
 	quit    bool
 	tenants map[string]*Tenant
 	stats   Stats
+
+	// lastID/lastT cache the most recently touched tenant, so a burst of
+	// events from one household costs one map lookup instead of one per
+	// event.
+	lastID string
+	lastT  *Tenant
+	// dirty is the set of tenants with events since their last
+	// checkpoint: batch checkpoints serialize only these households
+	// instead of sweeping every resident. Invariant: a tenant is in dirty
+	// iff its on-disk policy is behind its in-memory one.
+	dirty map[string]*Tenant
+	// flushIDs is the reusable scratch for flush's deterministic
+	// (sorted) checkpoint order.
+	flushIDs []string
+	// evictq holds tenants already removed from the resident map whose
+	// final checkpoint write is still pending: eviction writes are
+	// batched at drain-batch boundaries (drainEvictions) so a sweep of
+	// idle tenants pays one parallel write wave instead of one blocking
+	// file rotation per event.
+	evictq []*Tenant
+	// known is the set of households with a checkpoint file (or rotated
+	// backup) on disk: the directory listing taken once at New, plus
+	// every file this shard wrote since. Admission consults it instead
+	// of probing the filesystem, so a first-contact household costs zero
+	// failed opens. The fleet owns its checkpoint directory exclusively
+	// while running (the same single-writer assumption the crash-safe
+	// rotation already relies on), so the set cannot go stale.
+	known map[string]bool
+	// saver holds the reusable checkpoint encode buffers shared by every
+	// tenant on this shard.
+	saver store.MultiSaver
+	// psavers are the per-worker savers of flushParallel, created lazily
+	// and reused across flushes.
+	psavers []*store.MultiSaver
 }
+
+// flushWriters is how many checkpoint files a batch flush writes
+// concurrently. The work is blocking file I/O (create, write, fsync,
+// rename), so overlapping it pays even on a single CPU.
+const flushWriters = 8
+
+// minParallelFlush is the dirty-set size below which a flush stays
+// serial: a handful of files is not worth the pool round trip.
+const minParallelFlush = 4
+
+// maxBatch bounds how many work items a shard loop dispatches before it
+// services the eviction write queue. Without the cap a sustained
+// producer would keep the drain loop spinning and defer queued eviction
+// checkpoints indefinitely.
+const maxBatch = 128
 
 // New validates the configuration and builds the shard pool.
 func New(cfg Config) (*Fleet, error) {
@@ -185,7 +248,27 @@ func New(cfg Config) (*Fleet, error) {
 			in:      make(chan msg, 256),
 			done:    make(chan struct{}),
 			tenants: make(map[string]*Tenant),
+			dirty:   make(map[string]*Tenant),
+			known:   make(map[string]bool),
 		})
+	}
+	// One directory listing seeds every shard's known-checkpoint set, so
+	// admissions never probe the filesystem for households that have
+	// never been persisted.
+	entries, err := os.ReadDir(cfg.Dir)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: listing checkpoint dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".1")
+		household, ok := strings.CutSuffix(name, ".json")
+		if !ok || !ValidHousehold(household) {
+			continue
+		}
+		f.shards[ShardOf(household, len(f.shards))].known[household] = true
 	}
 	return f, nil
 }
@@ -195,12 +278,9 @@ func (f *Fleet) Shards() int { return len(f.shards) }
 
 // Start spawns the shard event loops.
 func (f *Fleet) Start() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.started {
+	if !f.state.CompareAndSwap(fleetBuilt, fleetStarted) {
 		return
 	}
-	f.started = true
 	for _, s := range f.shards {
 		go s.run()
 	}
@@ -214,10 +294,7 @@ func (f *Fleet) Deliver(ev Event) error {
 	if !ValidHousehold(ev.Household) {
 		return fmt.Errorf("fleet: invalid household ID %q", ev.Household)
 	}
-	f.mu.Lock()
-	ok := f.started && !f.stopped
-	f.mu.Unlock()
-	if !ok {
+	if f.state.Load() != fleetStarted {
 		return fmt.Errorf("fleet: not running")
 	}
 	f.shards[ShardOf(ev.Household, len(f.shards))].in <- msg{ev: ev}
@@ -231,10 +308,7 @@ func (f *Fleet) Do(household string, fn func(*Tenant) error) error {
 	if !ValidHousehold(household) {
 		return fmt.Errorf("fleet: invalid household ID %q", household)
 	}
-	f.mu.Lock()
-	ok := f.started && !f.stopped
-	f.mu.Unlock()
-	if !ok {
+	if f.state.Load() != fleetStarted {
 		return fmt.Errorf("fleet: not running")
 	}
 	res := make(chan error, 1)
@@ -272,22 +346,21 @@ func (f *Fleet) advanceAll(to time.Duration) {
 }
 
 // Flush checkpoints every dirty tenant on every shard (batch per-shard
-// checkpointing) and waits for the writes to finish.
+// checkpointing) and waits for the writes to finish. Periodic flushes
+// are incremental: only households with events since their last
+// checkpoint are serialized, and the files are not fsynced (the atomic
+// rename keeps them process-crash-safe; Stop takes the fsynced final
+// checkpoint).
 func (f *Fleet) Flush() {
-	f.mu.Lock()
-	ok := f.started && !f.stopped
-	f.mu.Unlock()
-	if !ok {
+	if f.state.Load() != fleetStarted {
 		return
 	}
-	f.barrier(func(s *shard) { s.flush() })
+	f.barrier(func(s *shard) { s.flush(false) })
 }
 
 // Stats snapshots the aggregated counters (a barrier across shards).
 func (f *Fleet) Stats() Stats {
-	f.mu.Lock()
-	running := f.started && !f.stopped
-	f.mu.Unlock()
+	running := f.state.Load() == fleetStarted
 	var out Stats
 	if !running {
 		for _, s := range f.shards {
@@ -308,19 +381,16 @@ func (f *Fleet) Stats() Stats {
 	return out
 }
 
-// Stop drains every shard, checkpoints all remaining tenants, and joins
-// the loops. Deliver/Do/Flush fail or no-op afterwards.
+// Stop drains every shard, checkpoints all remaining dirty tenants
+// (fsynced — the final checkpoint is the durable one), and joins the
+// loops. Deliver/Do/Flush fail or no-op afterwards.
 func (f *Fleet) Stop() {
-	f.mu.Lock()
-	if !f.started || f.stopped {
-		f.mu.Unlock()
+	if !f.state.CompareAndSwap(fleetStarted, fleetStopped) {
 		return
 	}
-	f.stopped = true
-	f.mu.Unlock()
 	for _, s := range f.shards {
 		s.in <- msg{fn: func(s *shard) {
-			s.flush()
+			s.flush(true)
 			s.quit = true
 		}}
 	}
@@ -339,26 +409,54 @@ func (f *Fleet) log(format string, args ...any) {
 }
 
 // run is the shard event loop: the single goroutine owning this shard's
-// tenants.
+// tenants. After each blocking receive it drains whatever else is
+// already queued (up to maxBatch items) before blocking again, so a
+// burst of traffic pays one channel wakeup (and one scheduler round
+// trip) instead of one per event. Eviction checkpoints queued during a
+// batch are written — in parallel — at the batch boundary.
 func (s *shard) run() {
 	defer close(s.done)
 	for !s.quit {
-		m := <-s.in
-		if m.fn != nil {
-			m.fn(s)
-			continue
+		s.dispatch(<-s.in)
+	drain:
+		for n := 1; !s.quit && n < maxBatch; n++ {
+			select {
+			case m := <-s.in:
+				s.dispatch(m)
+			default:
+				break drain
+			}
 		}
-		s.handle(m.ev)
+		s.drainEvictions(false)
 	}
+}
+
+// dispatch runs one work item on the loop goroutine. Control closures
+// (Do, Flush, Stats, Stop, advanceAll) are synchronization points:
+// queued eviction writes land before the closure runs, so an observer
+// that has been through a barrier also sees the eviction checkpoints on
+// disk.
+func (s *shard) dispatch(m msg) {
+	if m.fn != nil {
+		s.drainEvictions(false)
+		m.fn(s)
+		return
+	}
+	s.handle(m.ev)
 }
 
 // handle processes one event on the loop goroutine.
 func (s *shard) handle(ev Event) {
-	t, err := s.admit(ev.Household)
-	if err != nil {
-		s.stats.Dropped++
-		s.f.log("shard %d: admit %s: %v", s.idx, ev.Household, err)
-		return
+	t := s.lastT
+	if t == nil || s.lastID != ev.Household {
+		var err error
+		t, err = s.admit(ev.Household)
+		if err != nil {
+			s.stats.Dropped++
+			s.f.log("shard %d: admit %s: %v", s.idx, ev.Household, err)
+			return
+		}
+		s.lastID, s.lastT = ev.Household, t
 	}
 	// The tenant clock never goes backwards: a late event is processed
 	// at the tenant's current time (same policy as a real gateway, which
@@ -374,12 +472,12 @@ func (s *shard) handle(ev Event) {
 		u.At = at
 		t.Hub.HandleUsage(u)
 		t.lastEvent = at
-		t.dirty = true
+		s.dirty[t.ID] = t
 		s.stats.Events++
 	case EventNodeState:
 		t.Hub.HandleNodeState(ev.Tool, ev.Online)
 		t.lastEvent = at
-		t.dirty = true
+		s.dirty[t.ID] = t
 		s.stats.NodeStates++
 	case EventAdvance:
 		// Clock only; the eviction check below does the rest.
@@ -393,6 +491,11 @@ func (s *shard) admit(household string) (*Tenant, error) {
 	if t, ok := s.tenants[household]; ok {
 		return t, nil
 	}
+	if len(s.evictq) > 0 {
+		if t := s.writebackEvicted(household); t != nil {
+			return t, nil
+		}
+	}
 	cfg, err := s.f.cfg.NewSystem(household)
 	if err != nil {
 		return nil, err
@@ -400,7 +503,7 @@ func (s *shard) admit(household string) (*Tenant, error) {
 	if cfg.LEDs == nil && s.f.cfg.LEDs != nil {
 		cfg.LEDs = s.f.cfg.LEDs(household)
 	}
-	t, recovered, err := newTenant(household, cfg, s.f.policyPath(household))
+	t, recovered, err := newTenant(household, cfg, s.f.policyPath(household), s.known[household])
 	if err != nil {
 		return nil, err
 	}
@@ -419,9 +522,15 @@ func (s *shard) admit(household string) (*Tenant, error) {
 	return t, nil
 }
 
-// maybeEvict checkpoints and releases a tenant idle past the deadline on
-// its own virtual clock. Mid-session tenants are kept: a session in
-// flight pins the tenant.
+// maybeEvict releases a tenant idle past the deadline on its own
+// virtual clock. Mid-session tenants are kept: a session in flight pins
+// the tenant. The eviction decision (and the resident-map removal) is
+// immediate and purely virtual-time-driven — identical at any shard
+// count — but the final checkpoint write of a dirty tenant is queued
+// and batched at the next drain boundary, where a sweep of evictions
+// becomes one parallel write wave. The file bytes are a pure function
+// of the tenant's state at eviction, so deferring the write cannot
+// change any policy file or the parity digest.
 func (s *shard) maybeEvict(t *Tenant) {
 	d := s.f.cfg.IdleEvict
 	if d <= 0 || t.System.Active() {
@@ -430,13 +539,90 @@ func (s *shard) maybeEvict(t *Tenant) {
 	if t.Sched.Now()-t.lastEvent < d {
 		return
 	}
-	if err := s.checkpoint(t); err != nil {
-		s.f.log("shard %d: evict %s: %v", s.idx, t.ID, err)
-		return // keep the tenant rather than lose its learning
-	}
 	delete(s.tenants, t.ID)
+	if s.lastT == t {
+		s.lastID, s.lastT = "", nil
+	}
 	s.stats.Evictions++
+	if _, dirty := s.dirty[t.ID]; dirty {
+		// The queued write carries the tenant's final state; dirty
+		// membership moves with it.
+		delete(s.dirty, t.ID)
+		s.evictq = append(s.evictq, t)
+		return
+	}
 	s.f.log("shard %d: evicted %s (idle %v)", s.idx, t.ID, t.Sched.Now()-t.lastEvent)
+}
+
+// drainEvictions writes the final checkpoints of tenants evicted since
+// the last drain, in eviction order, through the parallel writer pool
+// when the queue is large enough. A tenant whose write fails is
+// re-admitted instead of losing its learning.
+func (s *shard) drainEvictions(fsync bool) {
+	if len(s.evictq) == 0 {
+		return
+	}
+	if len(s.evictq) >= minParallelFlush {
+		s.ensurePsavers()
+		free := make(chan *store.MultiSaver, len(s.psavers))
+		for _, sv := range s.psavers {
+			free <- sv
+		}
+		//coreda:vet-ignore droppederr per-write errors are the results; the worker never returns an outer error
+		errs, _ := parrun.Map(len(s.evictq), len(s.psavers), func(i int) (error, error) {
+			sv := <-free
+			err := s.evictq[i].save(sv, fsync)
+			free <- sv
+			return err, nil
+		})
+		for i, t := range s.evictq {
+			s.finishEvict(t, errs[i])
+		}
+	} else {
+		for _, t := range s.evictq {
+			s.finishEvict(t, t.save(&s.saver, fsync))
+		}
+	}
+	for i := range s.evictq {
+		s.evictq[i] = nil
+	}
+	s.evictq = s.evictq[:0]
+}
+
+// finishEvict completes one queued eviction after its checkpoint write
+// returned. On failure the tenant is resurrected — it never left memory
+// — exactly as an inline eviction would have kept it.
+func (s *shard) finishEvict(t *Tenant, err error) {
+	if err != nil {
+		s.f.log("shard %d: evict %s: %v", s.idx, t.ID, err)
+		s.tenants[t.ID] = t
+		s.dirty[t.ID] = t
+		s.stats.Evictions--
+		return
+	}
+	s.known[t.ID] = true
+	s.stats.Checkpoints++
+	s.f.log("shard %d: evicted %s (idle %v)", s.idx, t.ID, t.Sched.Now()-t.lastEvent)
+}
+
+// writebackEvicted force-completes a queued eviction write for one
+// household (an event for it arrived before the batch boundary). It
+// returns the tenant if the write failed and the tenant was resurrected
+// as resident; otherwise nil, and the caller re-admits from the
+// just-written file — byte-identical to the batched path.
+func (s *shard) writebackEvicted(household string) *Tenant {
+	for i, t := range s.evictq {
+		if t.ID != household {
+			continue
+		}
+		s.evictq = append(s.evictq[:i], s.evictq[i+1:]...)
+		s.finishEvict(t, t.save(&s.saver, false))
+		if rt, ok := s.tenants[household]; ok {
+			return rt
+		}
+		return nil
+	}
+	return nil
 }
 
 // advanceAll pumps every resident tenant's clock to `to` and sweeps for
@@ -452,23 +638,87 @@ func (s *shard) advanceAll(to time.Duration) {
 }
 
 // flush checkpoints every dirty tenant (batch per-shard checkpointing).
-func (s *shard) flush() {
-	for _, id := range sortedHouseholds(s.tenants) {
-		if err := s.checkpoint(s.tenants[id]); err != nil {
+// It walks the dirty set, not the full resident map, so the cost of a
+// periodic flush scales with how many households actually changed;
+// iteration is sorted for deterministic write order.
+func (s *shard) flush(fsync bool) {
+	s.drainEvictions(fsync)
+	if len(s.dirty) == 0 {
+		return
+	}
+	s.flushIDs = s.flushIDs[:0]
+	for id := range s.dirty {
+		s.flushIDs = append(s.flushIDs, id)
+	}
+	sort.Strings(s.flushIDs)
+	if len(s.flushIDs) >= minParallelFlush {
+		s.flushParallel(fsync)
+		return
+	}
+	for _, id := range s.flushIDs {
+		if err := s.checkpoint(s.dirty[id], fsync); err != nil {
 			s.f.log("shard %d: checkpoint %s: %v", s.idx, id, err)
 		}
 	}
 }
 
-// checkpoint persists the tenant if it has unsaved events.
-func (s *shard) checkpoint(t *Tenant) error {
-	if !t.dirty {
+// flushParallel writes the sorted dirty tenants' checkpoint files
+// through a small parrun pool. This does not violate tenant ownership:
+// the shard loop blocks until every write returns, each worker touches a
+// distinct tenant (households have distinct files), and the dirty set
+// and counters are updated back on the loop goroutine afterwards. File
+// contents are a pure function of each tenant's state, so write order —
+// the only thing the concurrency perturbs — cannot change any policy
+// file or the parity digest.
+func (s *shard) flushParallel(fsync bool) {
+	s.ensurePsavers()
+	free := make(chan *store.MultiSaver, len(s.psavers))
+	for _, sv := range s.psavers {
+		free <- sv
+	}
+	// The inner error is carried as the result so one failed tenant does
+	// not abort the remaining writes.
+	//coreda:vet-ignore droppederr per-write errors are the results; the worker never returns an outer error
+	errs, _ := parrun.Map(len(s.flushIDs), len(s.psavers), func(i int) (error, error) {
+		sv := <-free
+		err := s.dirty[s.flushIDs[i]].save(sv, fsync)
+		free <- sv
+		return err, nil
+	})
+	for i, id := range s.flushIDs {
+		if errs[i] != nil {
+			s.f.log("shard %d: checkpoint %s: %v", s.idx, id, errs[i])
+			continue
+		}
+		delete(s.dirty, id)
+		s.known[id] = true
+		s.stats.Checkpoints++
+	}
+}
+
+// ensurePsavers lazily builds the per-worker saver pool shared by
+// flushParallel and drainEvictions.
+func (s *shard) ensurePsavers() {
+	if s.psavers != nil {
+		return
+	}
+	s.psavers = make([]*store.MultiSaver, flushWriters)
+	for i := range s.psavers {
+		s.psavers[i] = new(store.MultiSaver)
+	}
+}
+
+// checkpoint persists the tenant if it has unsaved events (it is in the
+// shard's dirty set), clearing its dirty membership on success.
+func (s *shard) checkpoint(t *Tenant, fsync bool) error {
+	if _, ok := s.dirty[t.ID]; !ok {
 		return nil
 	}
-	if err := t.save(s.f.policyPath(t.ID)); err != nil {
+	if err := t.save(&s.saver, fsync); err != nil {
 		return err
 	}
-	t.dirty = false
+	delete(s.dirty, t.ID)
+	s.known[t.ID] = true
 	s.stats.Checkpoints++
 	return nil
 }

@@ -66,8 +66,12 @@ type Server struct {
 // fleetConn is one node connection and the household it greeted as.
 type fleetConn struct {
 	c       net.Conn
-	wm      sync.Mutex // serializes frame writes (acks vs LED commands)
 	timeout time.Duration
+	wm      sync.Mutex // serializes frame writes (acks vs LED commands)
+	w       *wire.Writer
+	// ackPkt is reusable ack scratch, owned by the connection's reader
+	// goroutine (the only sender of acks).
+	ackPkt wire.Ack
 
 	mu        sync.Mutex
 	household string
@@ -75,17 +79,23 @@ type fleetConn struct {
 }
 
 func (nc *fleetConn) write(p wire.Packet) error {
-	frame, err := wire.Encode(p)
-	if err != nil {
-		return err
-	}
 	nc.wm.Lock()
 	defer nc.wm.Unlock()
+	if err := nc.w.QueuePacket(p); err != nil {
+		return err
+	}
 	if nc.timeout > 0 {
 		nc.c.SetWriteDeadline(time.Now().Add(nc.timeout)) //coreda:vet-ignore nondeterminism serving-layer socket deadline is wall-clock by nature
 	}
-	_, err = nc.c.Write(frame)
-	return err
+	return nc.w.Flush()
+}
+
+// release recycles the writer's pooled frame buffer once the connection
+// is done.
+func (nc *fleetConn) release() {
+	nc.wm.Lock()
+	nc.w.Release()
+	nc.wm.Unlock()
 }
 
 // NewServer wraps a fleet that has not been started yet: it installs the
@@ -112,9 +122,7 @@ func NewServer(f *Fleet, cfg ServeConfig) (*Server, error) {
 		conns: make(map[string]map[uint16]*fleetConn),
 		all:   make(map[*fleetConn]struct{}),
 	}
-	f.mu.Lock()
-	if f.started {
-		f.mu.Unlock()
+	if f.state.Load() != fleetBuilt {
 		return nil, fmt.Errorf("fleet: NewServer requires a fleet that has not been started")
 	}
 	if f.cfg.LEDs == nil {
@@ -122,7 +130,6 @@ func NewServer(f *Fleet, cfg ServeConfig) (*Server, error) {
 			return serveLEDs{srv: srv, household: household}
 		}
 	}
-	f.mu.Unlock()
 	f.Start()
 	return srv, nil
 }
@@ -191,7 +198,7 @@ func (srv *Server) Serve(l net.Listener) error {
 // shard queues are the serialization point, so each connection goroutine
 // delivers directly.
 func (srv *Server) HandleConn(conn net.Conn) {
-	nc := &fleetConn{c: conn, timeout: srv.cfg.WriteTimeout}
+	nc := &fleetConn{c: conn, timeout: srv.cfg.WriteTimeout, w: wire.NewWriter(conn)}
 	srv.mu.Lock()
 	srv.all[nc] = struct{}{}
 	srv.mu.Unlock()
@@ -199,21 +206,22 @@ func (srv *Server) HandleConn(conn net.Conn) {
 		srv.mu.Lock()
 		delete(srv.all, nc)
 		srv.mu.Unlock()
+		nc.release()
 	}()
 	r := wire.NewReader(conn)
+	var f wire.Frame // reused across reads: no per-packet alloc
 	for {
 		if srv.cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(srv.cfg.ReadTimeout)) //coreda:vet-ignore nondeterminism serving-layer socket deadline is wall-clock by nature
 		}
-		pkt, err := r.ReadPacket()
-		if err != nil {
+		if err := r.ReadFrame(&f); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				srv.log("conn %s: %v", conn.RemoteAddr(), err)
 			}
 			conn.Close()
 			return
 		}
-		srv.handlePacket(nc, pkt)
+		srv.handlePacket(nc, &f)
 	}
 }
 
@@ -232,10 +240,11 @@ func (nc *fleetConn) forHousehold(fallback string) (string, bool) {
 	return "", !warned // false once already warned; caller logs on true
 }
 
-func (srv *Server) handlePacket(nc *fleetConn, pkt wire.Packet) {
+func (srv *Server) handlePacket(nc *fleetConn, f *wire.Frame) {
 	now := srv.virtualNow()
-	switch pkt := pkt.(type) {
-	case *wire.Hello:
+	switch f.Kind {
+	case wire.TypeHello:
+		pkt := &f.Hello
 		if !ValidHousehold(pkt.Household) {
 			srv.log("conn %s: hello with invalid household %q", nc.c.RemoteAddr(), pkt.Household)
 			return
@@ -246,7 +255,8 @@ func (srv *Server) handlePacket(nc *fleetConn, pkt wire.Packet) {
 		srv.register(pkt.Household, pkt.UID, nc)
 		srv.ack(nc, pkt.UID, pkt.Seq)
 		srv.log("%7.1fs node %d joined household %s (hello v%d)", now.Seconds(), pkt.UID, pkt.Household, pkt.HelloVersion)
-	case *wire.UsageStart:
+	case wire.TypeUsageStart:
+		pkt := &f.UsageStart
 		hh, ok := srv.resolve(nc, pkt.UID)
 		if !ok {
 			return
@@ -263,7 +273,8 @@ func (srv *Server) handlePacket(nc *fleetConn, pkt wire.Packet) {
 				Hits: int(pkt.Hits),
 			},
 		})
-	case *wire.UsageEnd:
+	case wire.TypeUsageEnd:
+		pkt := &f.UsageEnd
 		hh, ok := srv.resolve(nc, pkt.UID)
 		if !ok {
 			return
@@ -280,11 +291,11 @@ func (srv *Server) handlePacket(nc *fleetConn, pkt wire.Packet) {
 				Duration: time.Duration(pkt.DurationMs) * time.Millisecond,
 			},
 		})
-	case *wire.Heartbeat:
+	case wire.TypeHeartbeat:
 		// Liveness only; register so LED write-back finds the node even
 		// before its first usage report.
-		srv.resolve(nc, pkt.UID)
-	case *wire.Ack:
+		srv.resolve(nc, f.Heartbeat.UID)
+	case wire.TypeAck:
 		// LED command acknowledged; TCP already guarantees delivery.
 	}
 }
@@ -322,7 +333,10 @@ func (srv *Server) register(household string, uid uint16, nc *fleetConn) {
 }
 
 func (srv *Server) ack(nc *fleetConn, uid, seq uint16) {
-	if err := nc.write(&wire.Ack{UID: uid, Seq: seq}); err != nil {
+	// ackPkt is owned by the reader goroutine calling this, and write
+	// copies the encoded bytes out before returning, so reuse is safe.
+	nc.ackPkt = wire.Ack{UID: uid, Seq: seq}
+	if err := nc.write(&nc.ackPkt); err != nil {
 		srv.log("ack to %d: %v", uid, err)
 	}
 }

@@ -203,14 +203,21 @@ func DigestDir(dir string) (string, error) {
 		}
 	}
 	sort.Strings(names)
+	// Read the files in parallel: the digest is computed below in sorted
+	// name order regardless, so the concurrency only overlaps per-file
+	// open/read syscall latency (worthwhile even on one CPU — these are
+	// blocking disk reads, not CPU work) and cannot change the digest.
+	const readers = 8
+	files, err := parrun.Map(len(names), readers, func(i int) ([]byte, error) {
+		return os.ReadFile(filepath.Join(dir, names[i]))
+	})
+	if err != nil {
+		return "", err
+	}
 	h := sha256.New()
-	for _, name := range names {
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return "", err
-		}
-		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
-		h.Write(data)
+	for i, name := range names {
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(files[i]))
+		h.Write(files[i])
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
 }

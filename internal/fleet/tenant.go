@@ -1,8 +1,8 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"time"
@@ -30,11 +30,20 @@ type Tenant struct {
 	System *coreda.System
 
 	activity *coreda.Activity
+	// path is the tenant's checkpoint file, computed once at admission so
+	// the checkpoint hot path does not rebuild it per save.
+	path string
+	// enc is the routine set in its on-disk form, encoded once at
+	// admission: routines never change after admission, so incremental
+	// checkpoints reuse this instead of re-encoding per save.
+	enc store.EncodedRoutines
+	// tables/states are the one-element scratch slices handed to the
+	// saver, so a checkpoint does not allocate its argument slices.
+	tables [1]*rl.QTable
+	states [1]store.TrainState
 	// lastEvent is the virtual time of the last delivered event; the
 	// idle-eviction clock measures from here.
 	lastEvent time.Duration
-	// dirty marks events since the last checkpoint.
-	dirty bool
 	// loadErr records why a checkpoint could not be restored (the tenant
 	// then started fresh).
 	loadErr error
@@ -54,8 +63,10 @@ const (
 )
 
 // newTenant builds the household stack and restores its checkpoint file
-// if one exists.
-func newTenant(id string, cfg coreda.SystemConfig, path string) (*Tenant, recovery, error) {
+// if one exists. tryLoad false skips the restore outright — the caller
+// (the shard's known-checkpoint set) already knows no file exists, so a
+// first-contact admission costs zero filesystem probes.
+func newTenant(id string, cfg coreda.SystemConfig, path string, tryLoad bool) (*Tenant, recovery, error) {
 	if cfg.Activity == nil {
 		return nil, 0, fmt.Errorf("fleet: NewSystem config for %q has no activity", id)
 	}
@@ -65,25 +76,30 @@ func newTenant(id string, cfg coreda.SystemConfig, path string) (*Tenant, recove
 	if err != nil {
 		return nil, 0, err
 	}
-	t := &Tenant{ID: id, Sched: sched, Hub: hub, System: sys, activity: cfg.Activity}
-	if !checkpointExists(path) {
+	t := &Tenant{
+		ID:       id,
+		Sched:    sched,
+		Hub:      hub,
+		System:   sys,
+		activity: cfg.Activity,
+		path:     path,
+		enc:      store.EncodeRoutines([]adl.Routine{cfg.Activity.CanonicalRoutine()}),
+	}
+	if !tryLoad {
 		return t, recoveredFresh, nil
 	}
-	if err := t.load(path); err != nil {
+	switch err := t.load(path); {
+	case err == nil:
+		return t, recoveredCheckpoint, nil
+	case errors.Is(err, store.ErrNoCheckpoint):
+		// Neither the checkpoint nor its rotated backup exists: a genuine
+		// fresh start, not a recovery failure. Folding this into the load
+		// saves the stat-per-admission probe the old existence check cost.
+		return t, recoveredFresh, nil
+	default:
 		t.loadErr = err
 		return t, recoveredError, nil
 	}
-	return t, recoveredCheckpoint, nil
-}
-
-// checkpointExists reports whether a checkpoint (or its rotated backup —
-// a crash can leave only the backup behind) is on disk.
-func checkpointExists(path string) bool {
-	if _, err := os.Stat(path); err == nil {
-		return true
-	}
-	_, err := os.Stat(path + store.BackupSuffix)
-	return err == nil
 }
 
 // load restores the learned policy and training progress from a
@@ -112,13 +128,15 @@ func (t *Tenant) load(path string) error {
 }
 
 // save checkpoints the learned policy — Q-values plus the annealing
-// state — through the store's crash-safe rotation.
-func (t *Tenant) save(path string) error {
+// state — through the store's crash-safe rotation, reusing the shard's
+// saver buffers and the tenant's cached routine encoding. fsync is false
+// for incremental checkpoints and true for final flushes (see
+// store.MultiSaver.Save).
+func (t *Tenant) save(sv *store.MultiSaver, fsync bool) error {
 	p := t.System.Planner()
-	return store.SaveMultiPolicy(path, t.ID, t.activity.Name,
-		[]adl.Routine{t.activity.CanonicalRoutine()},
-		[]*rl.QTable{p.Table()},
-		[]store.TrainState{{Episodes: p.Episodes, Epsilon: p.Epsilon()}})
+	t.tables[0] = p.Table()
+	t.states[0] = store.TrainState{Episodes: p.Episodes, Epsilon: p.Epsilon()}
+	return sv.Save(t.path, t.ID, t.activity.Name, t.enc, t.tables[:], t.states[:], fsync)
 }
 
 // policyPath is the checkpoint file of a household.

@@ -167,7 +167,13 @@ func (t *QTable) MaxAbsDiff(other *QTable) float64 {
 
 // Values returns a copy of the raw value slice (row-major by state). It is
 // used by persistence.
-func (t *QTable) Values() []float64 { return append([]float64(nil), t.q...) }
+func (t *QTable) Values() []float64 { return t.AppendValues(nil) }
+
+// AppendValues appends a copy of the raw value slice (row-major by state)
+// to dst and returns the extended slice, so incremental checkpointing can
+// reuse one scratch buffer across saves instead of allocating a fresh
+// copy per table.
+func (t *QTable) AppendValues(dst []float64) []float64 { return append(dst, t.q...) }
 
 // SetValues overwrites the table from a raw slice of len states*actions.
 func (t *QTable) SetValues(v []float64) error {

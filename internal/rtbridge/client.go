@@ -24,6 +24,7 @@ type NodeClient struct {
 	conn    net.Conn
 	wm      sync.Mutex
 	seq     uint16
+	buf     []byte // frame scratch, guarded by wm
 	timeout time.Duration
 	onLED   func(LEDEvent)
 
@@ -128,12 +129,14 @@ func (n *NodeClient) Heartbeat(uptime time.Duration) error {
 	})
 }
 
-// write must be called with wm held.
+// write must be called with wm held. It encodes into the client's
+// scratch buffer, so steady reporting does not allocate per frame.
 func (n *NodeClient) write(p wire.Packet) error {
-	frame, err := wire.Encode(p)
+	frame, err := wire.AppendFrame(n.buf[:0], p)
 	if err != nil {
 		return err
 	}
+	n.buf = frame
 	_, err = n.conn.Write(frame)
 	return err
 }
@@ -143,6 +146,7 @@ func (n *NodeClient) readLoop() {
 	// Close on exit so writers fail fast instead of feeding a dead peer.
 	defer n.Close()
 	r := wire.NewReader(n.conn)
+	var f wire.Frame
 	for {
 		n.wm.Lock()
 		d := n.timeout
@@ -150,15 +154,15 @@ func (n *NodeClient) readLoop() {
 		if d > 0 {
 			n.conn.SetReadDeadline(time.Now().Add(d))
 		}
-		pkt, err := r.ReadPacket()
-		if err != nil {
+		if err := r.ReadFrame(&f); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				n.readEr = err
 			}
 			return
 		}
-		switch cmd := pkt.(type) {
-		case *wire.LEDCommand:
+		switch f.Kind {
+		case wire.TypeLEDCommand:
+			cmd := &f.LEDCommand
 			if n.onLED != nil {
 				n.onLED(LEDEvent{
 					Color:  cmd.Color,
@@ -172,7 +176,7 @@ func (n *NodeClient) readLoop() {
 			if err != nil {
 				return
 			}
-		case *wire.Ack:
+		case wire.TypeAck:
 			// Usage report acknowledged; nothing to do over TCP.
 		}
 	}

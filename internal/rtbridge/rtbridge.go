@@ -82,11 +82,20 @@ type Server struct {
 	// Liveness state, owned by the Run goroutine (virtual time).
 	lastSeen map[uint16]time.Duration
 	offline  map[uint16]bool
+
+	// touched lists connections with queued-but-unflushed frames; the Run
+	// loop flushes each exactly once per batch. ackPkt/ledPkt are reusable
+	// packet scratch for the write path. All owned by the Run goroutine.
+	touched []*nodeConn
+	ackPkt  wire.Ack
+	ledPkt  wire.LEDCommand
 }
 
 type routedPacket struct {
-	pkt  wire.Packet
-	conn *nodeConn
+	// frame carries the decoded packet by value across the channel, so
+	// forwarding a packet to the loop does not allocate.
+	frame wire.Frame
+	conn  *nodeConn
 	// fn, when non-nil, is a closure to run on the loop goroutine
 	// instead of a packet (see Do).
 	fn func()
@@ -94,22 +103,41 @@ type routedPacket struct {
 
 type nodeConn struct {
 	c       net.Conn
-	wm      sync.Mutex // serializes frame writes (acks vs LED commands)
 	timeout time.Duration
+	wm      sync.Mutex // guards w
+	w       *wire.Writer
+	// pending says the conn is on the server's touched list awaiting
+	// flush; owned by the Run goroutine.
+	pending bool
 }
 
-func (nc *nodeConn) write(p wire.Packet) error {
-	frame, err := wire.Encode(p)
-	if err != nil {
-		return err
-	}
+// queue appends p's frame to the connection's write buffer; it reaches
+// the socket at the next flush.
+func (nc *nodeConn) queue(p wire.Packet) error {
 	nc.wm.Lock()
 	defer nc.wm.Unlock()
+	return nc.w.QueuePacket(p)
+}
+
+// flush writes every queued frame in one syscall.
+func (nc *nodeConn) flush() error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	if nc.w.Buffered() == 0 {
+		return nil
+	}
 	if nc.timeout > 0 {
 		nc.c.SetWriteDeadline(time.Now().Add(nc.timeout))
 	}
-	_, err = nc.c.Write(frame)
-	return err
+	return nc.w.Flush()
+}
+
+// release recycles the writer's pooled buffer once the connection is
+// done.
+func (nc *nodeConn) release() {
+	nc.wm.Lock()
+	nc.w.Release()
+	nc.wm.Unlock()
 }
 
 // NewServer builds the stack. Call Run to start the clock pump, then
@@ -230,6 +258,12 @@ func (s *Server) Do(fn func()) {
 
 // Run pumps the virtual clock from the wall clock and processes incoming
 // packets until Stop is called. It must run in exactly one goroutine.
+//
+// Packets are handled in batches: when one arrives, the loop drains the
+// whole backlog at a single virtual instant, queuing any acks and LED
+// commands on their connections, and then flushes each touched
+// connection exactly once — one write syscall per peer per batch rather
+// than per frame.
 func (s *Server) Run() {
 	ticker := time.NewTicker(s.cfg.Tick)
 	defer ticker.Stop()
@@ -244,14 +278,57 @@ func (s *Server) Run() {
 		case <-ticker.C:
 			s.sched.RunUntil(simNow())
 		case rp := <-s.packets:
-			s.sched.RunUntil(simNow())
-			if rp.fn != nil {
-				rp.fn()
-				continue
+			now := simNow()
+			s.sched.RunUntil(now)
+			s.dispatch(rp, now)
+		drain:
+			for {
+				select {
+				case rp := <-s.packets:
+					s.dispatch(rp, now)
+				default:
+					break drain
+				}
 			}
-			s.handlePacket(rp, simNow())
+		}
+		// Timers run from either branch may also have queued frames (LED
+		// blinks), so the flush sits outside the select.
+		s.flushTouched()
+	}
+}
+
+func (s *Server) dispatch(rp routedPacket, now time.Duration) {
+	if rp.fn != nil {
+		rp.fn()
+		return
+	}
+	s.handlePacket(rp, now)
+}
+
+// send queues a frame on nc and marks the connection for the flush at
+// the end of the current batch. Runs on the Run goroutine.
+func (s *Server) send(nc *nodeConn, p wire.Packet) {
+	if err := nc.queue(p); err != nil {
+		s.log(fmt.Sprintf("queue %s to %s: %v", p.Type(), nc.c.RemoteAddr(), err))
+		return
+	}
+	if !nc.pending {
+		nc.pending = true
+		s.touched = append(s.touched, nc)
+	}
+}
+
+// flushTouched writes each touched connection's queued frames in one
+// syscall. Runs on the Run goroutine.
+func (s *Server) flushTouched() {
+	for i, nc := range s.touched {
+		nc.pending = false
+		s.touched[i] = nil
+		if err := nc.flush(); err != nil {
+			s.log(fmt.Sprintf("flush to %s: %v", nc.c.RemoteAddr(), err))
 		}
 	}
+	s.touched = s.touched[:0]
 }
 
 // Stop terminates Run and closes every connection.
@@ -287,7 +364,7 @@ func (s *Server) Serve(l net.Listener) error {
 // connection is always closed on return, so the reader goroutine cannot
 // outlive its peer.
 func (s *Server) HandleConn(conn net.Conn) {
-	nc := &nodeConn{c: conn, timeout: s.cfg.WriteTimeout}
+	nc := &nodeConn{c: conn, timeout: s.cfg.WriteTimeout, w: wire.NewWriter(conn)}
 	s.mu.Lock()
 	s.all[nc] = struct{}{}
 	s.mu.Unlock()
@@ -295,14 +372,16 @@ func (s *Server) HandleConn(conn net.Conn) {
 		s.mu.Lock()
 		delete(s.all, nc)
 		s.mu.Unlock()
+		nc.release()
 	}()
 	r := wire.NewReader(conn)
+	var rp routedPacket
+	rp.conn = nc
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		}
-		pkt, err := r.ReadPacket()
-		if err != nil {
+		if err := r.ReadFrame(&rp.frame); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.log(fmt.Sprintf("conn %s: %v", conn.RemoteAddr(), err))
 			}
@@ -310,7 +389,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 			return
 		}
 		select {
-		case s.packets <- routedPacket{pkt: pkt, conn: nc}:
+		case s.packets <- rp: // the Frame travels by value: no per-packet alloc
 		case <-s.done:
 			conn.Close()
 			return
@@ -320,8 +399,9 @@ func (s *Server) HandleConn(conn net.Conn) {
 
 // handlePacket runs on the Run goroutine.
 func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
-	switch pkt := rp.pkt.(type) {
-	case *wire.UsageStart:
+	switch rp.frame.Kind {
+	case wire.TypeUsageStart:
+		pkt := &rp.frame.UsageStart
 		s.register(pkt.UID, rp.conn)
 		s.touch(pkt.UID, now)
 		s.ack(rp.conn, pkt.UID, pkt.Seq)
@@ -332,7 +412,8 @@ func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
 			At:   now,
 			Hits: int(pkt.Hits),
 		})
-	case *wire.UsageEnd:
+	case wire.TypeUsageEnd:
+		pkt := &rp.frame.UsageEnd
 		s.register(pkt.UID, rp.conn)
 		s.touch(pkt.UID, now)
 		s.ack(rp.conn, pkt.UID, pkt.Seq)
@@ -342,17 +423,19 @@ func (s *Server) handlePacket(rp routedPacket, now time.Duration) {
 			At:       now,
 			Duration: time.Duration(pkt.DurationMs) * time.Millisecond,
 		})
-	case *wire.Heartbeat:
+	case wire.TypeHeartbeat:
+		pkt := &rp.frame.Heartbeat
 		s.register(pkt.UID, rp.conn)
 		s.touch(pkt.UID, now)
-	case *wire.Hello:
+	case wire.TypeHello:
 		// This server hosts a single household, so the handshake only
 		// registers the node; the fleet server routes on it.
+		pkt := &rp.frame.Hello
 		s.register(pkt.UID, rp.conn)
 		s.touch(pkt.UID, now)
 		s.ack(rp.conn, pkt.UID, pkt.Seq)
 		s.log(fmt.Sprintf("%7.1fs node %d hello (household %q ignored: single-household server)", now.Seconds(), pkt.UID, pkt.Household))
-	case *wire.Ack:
+	case wire.TypeAck:
 		// LED command acknowledged; TCP already guarantees delivery.
 	}
 }
@@ -364,9 +447,8 @@ func (s *Server) register(uid uint16, nc *nodeConn) {
 }
 
 func (s *Server) ack(nc *nodeConn, uid, seq uint16) {
-	if err := nc.write(&wire.Ack{UID: uid, Seq: seq}); err != nil {
-		s.log(fmt.Sprintf("ack to %d: %v", uid, err))
-	}
+	s.ackPkt = wire.Ack{UID: uid, Seq: seq}
+	s.send(nc, &s.ackPkt)
 }
 
 func (s *Server) log(msg string) {
@@ -396,16 +478,17 @@ func (l serverLEDs) Blink(tool coreda.ToolID, color wire.LEDColor, blinks int, p
 	if blinks > 255 {
 		blinks = 255
 	}
-	cmd := &wire.LEDCommand{
+	// Blink runs on the Run goroutine (the reminding subsystem drives it
+	// from scheduler timers), so the command is queued like an ack and
+	// flushed with the current batch.
+	s.ledPkt = wire.LEDCommand{
 		UID:      uint16(tool),
 		Seq:      seq,
 		Color:    color,
 		Blinks:   uint8(blinks),
 		PeriodMs: uint16(period / time.Millisecond),
 	}
-	if err := nc.write(cmd); err != nil {
-		s.log(fmt.Sprintf("LED to %d: %v", tool, err))
-	}
+	s.send(nc, &s.ledPkt)
 }
 
 var _ reminding.LEDs = serverLEDs{}

@@ -1,11 +1,23 @@
 package store
 
 import (
+	"bufio"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 
 	"coreda/internal/adl"
 	"coreda/internal/rl"
 )
+
+// ErrNoCheckpoint is returned by LoadMultiPolicy when neither the
+// primary file nor its rotated backup exists — i.e. nothing was ever
+// checkpointed at that path. It lets callers distinguish "fresh start"
+// from "a checkpoint existed but is unusable" without a separate stat
+// probe before the load.
+var ErrNoCheckpoint = errors.New("store: no checkpoint")
 
 // multiPolicyVersion is the current MultiPolicyFile schema version.
 const multiPolicyVersion = 1
@@ -28,53 +40,149 @@ type TrainState struct {
 	Epsilon  float64
 }
 
-// SaveMultiPolicy writes a multi-routine policy atomically, rotating the
-// previous generation to path+BackupSuffix first (same crash-safety
-// contract as SavePolicy). routines and tables must be parallel slices;
-// states may be nil (no training progress recorded) or parallel to them.
-func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables []*rl.QTable, states []TrainState) error {
+// EncodedRoutines is the serialized form of a routine set. Routines never
+// change after a tenant is admitted, so callers encode once (via
+// EncodeRoutines) and hand the cached encoding to every subsequent
+// checkpoint instead of re-encoding each routine per save.
+type EncodedRoutines [][]uint16
+
+// EncodeRoutines converts routines to their on-disk form.
+func EncodeRoutines(routines []adl.Routine) EncodedRoutines {
+	enc := make(EncodedRoutines, len(routines))
+	for i, r := range routines {
+		steps := make([]uint16, len(r))
+		for j, s := range r {
+			steps[j] = uint16(s)
+		}
+		enc[i] = steps
+	}
+	return enc
+}
+
+// MultiSaver writes multi-routine policy checkpoints with reusable encode
+// state: the policy headers, Q-value scratch slices and the file-write
+// buffer all persist across saves, and the JSON is streamed to the temp
+// file instead of marshal-then-write — so steady-state checkpointing does
+// not scale its allocations with the Q-table size. The zero value is
+// ready to use. A MultiSaver is not safe for concurrent use; in the fleet
+// each shard owns one and checkpoints its tenants through it.
+type MultiSaver struct {
+	f  MultiPolicyFile
+	q  [][]float64
+	bw *bufio.Writer
+}
+
+// Save writes one checkpoint atomically, rotating the previous generation
+// to path+BackupSuffix first (same crash-safety contract as SavePolicy).
+// routines and tables must be parallel; states may be nil or parallel to
+// them. fsync says whether the temp file is flushed to stable storage
+// before the rename: incremental checkpoints pass false (the rename keeps
+// them atomic against process crashes, and the rotated backup covers a
+// torn file after a power loss), while final flushes pass true for full
+// durability.
+func (s *MultiSaver) Save(path, user, activity string, routines EncodedRoutines, tables []*rl.QTable, states []TrainState, fsync bool) error {
 	if len(routines) != len(tables) {
 		return fmt.Errorf("store: %d routines but %d tables", len(routines), len(tables))
 	}
 	if states != nil && len(states) != len(tables) {
 		return fmt.Errorf("store: %d tables but %d train states", len(tables), len(states))
 	}
-	f := MultiPolicyFile{
-		Version:  multiPolicyVersion,
-		User:     user,
-		Activity: activity,
+	s.f.Version = multiPolicyVersion
+	s.f.User = user
+	s.f.Activity = activity
+	s.f.Routines = routines
+	for len(s.q) < len(tables) {
+		s.q = append(s.q, nil)
 	}
-	for i, r := range routines {
-		enc := make([]uint16, len(r))
-		for j, s := range r {
-			enc[j] = uint16(s)
-		}
-		f.Routines = append(f.Routines, enc)
+	s.f.Policies = s.f.Policies[:0]
+	for i, t := range tables {
+		s.q[i] = t.AppendValues(s.q[i][:0])
 		p := PolicyFile{
 			Version:  policyVersion,
 			User:     user,
 			Activity: activity,
-			States:   tables[i].NumStates(),
-			Actions:  tables[i].NumActions(),
-			Q:        tables[i].Values(),
+			States:   t.NumStates(),
+			Actions:  t.NumActions(),
+			Q:        s.q[i],
 		}
 		if states != nil {
 			p.Episodes = states[i].Episodes
 			p.Epsilon = states[i].Epsilon
 		}
-		f.Policies = append(f.Policies, p)
+		s.f.Policies = append(s.f.Policies, p)
 	}
 	if err := rotateBackup(path); err != nil {
 		return err
 	}
-	return writeJSON(path, f)
+	return s.writeFile(path, fsync)
+}
+
+// writeFile streams the pending MultiPolicyFile to a temp file next to
+// path and renames it into place. There is exactly one writer per
+// checkpoint path (shards own their tenants), so the temp name can be
+// fixed — no CreateTemp name hunt — and the temp file is only unlinked
+// on the error path (after a successful rename there is nothing to
+// remove, and an unconditional deferred Remove would cost a failing
+// unlink syscall per checkpoint). Checkpoints are machine state written
+// at high rate, so the JSON is compact, not indented.
+func (s *MultiSaver) writeFile(path string, fsync bool) (err error) {
+	tmpName := path + ".tmp"
+	tmp, err := os.OpenFile(tmpName, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+	if s.bw == nil {
+		s.bw = bufio.NewWriterSize(tmp, 32<<10)
+	} else {
+		s.bw.Reset(tmp)
+	}
+	if err := json.NewEncoder(s.bw).Encode(&s.f); err != nil {
+		return fmt.Errorf("store: encode %s: %w", tmpName, err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("store: write %s: %w", tmpName, err)
+	}
+	if fsync {
+		if err := tmp.Sync(); err != nil {
+			return fmt.Errorf("store: sync %s: %w", tmpName, err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("store: rename: %w", err)
+	}
+	return nil
+}
+
+// SaveMultiPolicy writes a multi-routine policy atomically, rotating the
+// previous generation to path+BackupSuffix first (same crash-safety
+// contract as SavePolicy). routines and tables must be parallel slices;
+// states may be nil (no training progress recorded) or parallel to them.
+// It is the one-shot convenience over MultiSaver (fsynced); repeated
+// checkpointing should hold a MultiSaver and cached EncodeRoutines
+// instead.
+func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables []*rl.QTable, states []TrainState) error {
+	var s MultiSaver
+	return s.Save(path, user, activity, EncodeRoutines(routines), tables, states, true)
 }
 
 // LoadMultiPolicy reads and validates a multi-routine policy. If the
 // primary file is unreadable or malformed, the rotated backup
 // (path+BackupSuffix) is tried before giving up; the returned error then
-// covers both attempts. Per-policy training progress is in the returned
-// file's Policies[i].Episodes/Epsilon.
+// covers both attempts, except that two missing files collapse to
+// ErrNoCheckpoint. A torn primary with no backup is deliberately NOT
+// ErrNoCheckpoint — a checkpoint existed and was lost, and callers must
+// be able to tell that apart from a genuine fresh start. Per-policy
+// training progress is in the returned file's Policies[i].Episodes/
+// Epsilon.
 func LoadMultiPolicy(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
 	f, routines, tables, err := loadMultiPolicyFile(path)
 	if err == nil {
@@ -82,6 +190,9 @@ func LoadMultiPolicy(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable,
 	}
 	bf, broutines, btables, berr := loadMultiPolicyFile(path + BackupSuffix)
 	if berr != nil {
+		if errors.Is(err, fs.ErrNotExist) && errors.Is(berr, fs.ErrNotExist) {
+			return MultiPolicyFile{}, nil, nil, ErrNoCheckpoint
+		}
 		return MultiPolicyFile{}, nil, nil, fmt.Errorf("%w (backup: %v)", err, berr)
 	}
 	return bf, broutines, btables, nil

@@ -62,10 +62,10 @@ func SavePolicy(path, user, activity string, table *rl.QTable, episodes int, eps
 // corrupted after the fact (disk fault, torn copy) still has a
 // one-generation-old fallback next to it.
 func rotateBackup(path string) error {
-	if _, err := os.Stat(path); err != nil {
-		return nil
-	}
-	if err := os.Rename(path, path+BackupSuffix); err != nil {
+	// Rename directly and tolerate a missing previous generation: one
+	// syscall on the checkpoint hot path instead of a stat-then-rename
+	// pair.
+	if err := os.Rename(path, path+BackupSuffix); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("store: rotating backup: %w", err)
 	}
 	return nil

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Magic is the start-of-frame marker.
@@ -88,8 +89,10 @@ var (
 type Packet interface {
 	// Type returns the packet's wire type.
 	Type() Type
-	// payload serializes the packet body (without frame header/CRC).
-	payload() []byte
+	// appendPayload serializes the packet body (without frame header or
+	// CRC) by appending to dst, so hot paths can encode into reusable
+	// buffers without per-frame allocations.
+	appendPayload(dst []byte) []byte
 	// parse deserializes the packet body.
 	parse(b []byte) error
 }
@@ -128,15 +131,13 @@ type UsageStart struct {
 // Type implements Packet.
 func (*UsageStart) Type() Type { return TypeUsageStart }
 
-func (p *UsageStart) payload() []byte {
-	b := make([]byte, 12)
-	binary.BigEndian.PutUint16(b[0:], p.UID)
-	binary.BigEndian.PutUint16(b[2:], p.Seq)
-	b[4] = p.Sensor
-	binary.BigEndian.PutUint32(b[5:], p.NodeTime)
-	b[9] = p.Hits
-	binary.BigEndian.PutUint16(b[10:], p.Threshold)
-	return b
+func (p *UsageStart) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.UID)
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = append(dst, p.Sensor)
+	dst = binary.BigEndian.AppendUint32(dst, p.NodeTime)
+	dst = append(dst, p.Hits)
+	return binary.BigEndian.AppendUint16(dst, p.Threshold)
 }
 
 func (p *UsageStart) parse(b []byte) error {
@@ -163,13 +164,11 @@ type UsageEnd struct {
 // Type implements Packet.
 func (*UsageEnd) Type() Type { return TypeUsageEnd }
 
-func (p *UsageEnd) payload() []byte {
-	b := make([]byte, 12)
-	binary.BigEndian.PutUint16(b[0:], p.UID)
-	binary.BigEndian.PutUint16(b[2:], p.Seq)
-	binary.BigEndian.PutUint32(b[4:], p.NodeTime)
-	binary.BigEndian.PutUint32(b[8:], p.DurationMs)
-	return b
+func (p *UsageEnd) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.UID)
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, p.NodeTime)
+	return binary.BigEndian.AppendUint32(dst, p.DurationMs)
 }
 
 func (p *UsageEnd) parse(b []byte) error {
@@ -195,14 +194,11 @@ type LEDCommand struct {
 // Type implements Packet.
 func (*LEDCommand) Type() Type { return TypeLEDCommand }
 
-func (p *LEDCommand) payload() []byte {
-	b := make([]byte, 8)
-	binary.BigEndian.PutUint16(b[0:], p.UID)
-	binary.BigEndian.PutUint16(b[2:], p.Seq)
-	b[4] = byte(p.Color)
-	b[5] = p.Blinks
-	binary.BigEndian.PutUint16(b[6:], p.PeriodMs)
-	return b
+func (p *LEDCommand) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.UID)
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = append(dst, byte(p.Color), p.Blinks)
+	return binary.BigEndian.AppendUint16(dst, p.PeriodMs)
 }
 
 func (p *LEDCommand) parse(b []byte) error {
@@ -229,11 +225,9 @@ type Ack struct {
 // Type implements Packet.
 func (*Ack) Type() Type { return TypeAck }
 
-func (p *Ack) payload() []byte {
-	b := make([]byte, 4)
-	binary.BigEndian.PutUint16(b[0:], p.UID)
-	binary.BigEndian.PutUint16(b[2:], p.Seq)
-	return b
+func (p *Ack) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.UID)
+	return binary.BigEndian.AppendUint16(dst, p.Seq)
 }
 
 func (p *Ack) parse(b []byte) error {
@@ -256,13 +250,11 @@ type Heartbeat struct {
 // Type implements Packet.
 func (*Heartbeat) Type() Type { return TypeHeartbeat }
 
-func (p *Heartbeat) payload() []byte {
-	b := make([]byte, 9)
-	binary.BigEndian.PutUint16(b[0:], p.UID)
-	binary.BigEndian.PutUint16(b[2:], p.Seq)
-	binary.BigEndian.PutUint32(b[4:], p.UptimeMs)
-	b[8] = p.Battery
-	return b
+func (p *Heartbeat) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.UID)
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, p.UptimeMs)
+	return append(dst, p.Battery)
 }
 
 func (p *Heartbeat) parse(b []byte) error {
@@ -303,13 +295,11 @@ type Hello struct {
 // Type implements Packet.
 func (*Hello) Type() Type { return TypeHello }
 
-func (p *Hello) payload() []byte {
-	b := make([]byte, 6, 6+len(p.Household))
-	binary.BigEndian.PutUint16(b[0:], p.UID)
-	binary.BigEndian.PutUint16(b[2:], p.Seq)
-	b[4] = p.HelloVersion
-	b[5] = byte(len(p.Household))
-	return append(b, p.Household...)
+func (p *Hello) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.UID)
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = append(dst, p.HelloVersion, byte(len(p.Household)))
+	return append(dst, p.Household...)
 }
 
 func (p *Hello) parse(b []byte) error {
@@ -340,135 +330,302 @@ func (p *Hello) parse(b []byte) error {
 	return nil
 }
 
-// newPacket allocates an empty packet of the given type.
-func newPacket(t Type) (Packet, error) {
-	switch t {
-	case TypeUsageStart:
-		return &UsageStart{}, nil
-	case TypeUsageEnd:
-		return &UsageEnd{}, nil
-	case TypeLEDCommand:
-		return &LEDCommand{}, nil
-	case TypeAck:
-		return &Ack{}, nil
-	case TypeHeartbeat:
-		return &Heartbeat{}, nil
-	case TypeHello:
-		return &Hello{}, nil
-	default:
-		return nil, fmt.Errorf("%w: 0x%02x", ErrUnknownType, byte(t))
-	}
-}
+// MaxFrame is the size of the largest possible frame: header (4 bytes),
+// a full payload and the CRC trailer.
+const MaxFrame = 6 + MaxPayload
 
-// Encode serializes a packet into a complete frame:
+// AppendFrame appends p's complete encoded frame to dst and returns the
+// extended slice:
 //
 //	magic(1) version(1) type(1) len(1) payload(len) crc16(2)
 //
-// The CRC covers version, type, length and payload.
-func Encode(p Packet) ([]byte, error) {
-	body := p.payload()
-	if len(body) > MaxPayload {
-		return nil, ErrOversized
+// The CRC covers version, type, length and payload. This is the
+// allocation-free core of the codec: with enough capacity in dst it never
+// touches the heap. On error dst is returned truncated to its original
+// length.
+func AppendFrame(dst []byte, p Packet) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, Magic, Version, byte(p.Type()), 0)
+	dst = p.appendPayload(dst)
+	n := len(dst) - start - 4
+	if n > MaxPayload {
+		return dst[:start], ErrOversized
 	}
-	frame := make([]byte, 0, 6+len(body))
-	frame = append(frame, Magic, Version, byte(p.Type()), byte(len(body)))
-	frame = append(frame, body...)
-	crc := CRC16(frame[1:])
-	frame = binary.BigEndian.AppendUint16(frame, crc)
-	return frame, nil
+	dst[start+3] = byte(n)
+	crc := CRC16(dst[start+1:])
+	return binary.BigEndian.AppendUint16(dst, crc), nil
 }
 
-// Decode parses one complete frame produced by Encode.
-func Decode(frame []byte) (Packet, error) {
+// Encode serializes a packet into a freshly allocated complete frame. Hot
+// paths should prefer AppendFrame (or Writer.QueuePacket), which reuse
+// caller buffers instead.
+func Encode(p Packet) ([]byte, error) {
+	return AppendFrame(make([]byte, 0, MaxFrame), p)
+}
+
+// Frame is a reusable decode target: one union holding every packet type,
+// so a per-connection Frame lets the serving path parse traffic without a
+// heap allocation per packet. Kind selects the active member; Packet
+// returns it behind the Packet interface.
+//
+// The one allocation DecodeInto cannot avoid is the Hello household
+// string (Go strings are immutable, so the bytes must be copied out of
+// the frame buffer) — hellos are once-per-connection, not per-frame.
+type Frame struct {
+	Kind       Type
+	UsageStart UsageStart
+	UsageEnd   UsageEnd
+	LEDCommand LEDCommand
+	Ack        Ack
+	Heartbeat  Heartbeat
+	Hello      Hello
+}
+
+// Packet returns the active member as a Packet. The returned value
+// aliases the Frame: it is only valid until the next DecodeInto/ReadFrame
+// on the same Frame.
+func (f *Frame) Packet() Packet {
+	switch f.Kind {
+	case TypeUsageStart:
+		return &f.UsageStart
+	case TypeUsageEnd:
+		return &f.UsageEnd
+	case TypeLEDCommand:
+		return &f.LEDCommand
+	case TypeAck:
+		return &f.Ack
+	case TypeHeartbeat:
+		return &f.Heartbeat
+	case TypeHello:
+		return &f.Hello
+	default:
+		return nil
+	}
+}
+
+// detach returns a heap copy of the active member, independent of the
+// Frame — the compatibility shim under Decode/ReadPacket.
+func (f *Frame) detach() Packet {
+	switch f.Kind {
+	case TypeUsageStart:
+		p := f.UsageStart
+		return &p
+	case TypeUsageEnd:
+		p := f.UsageEnd
+		return &p
+	case TypeLEDCommand:
+		p := f.LEDCommand
+		return &p
+	case TypeAck:
+		p := f.Ack
+		return &p
+	case TypeHeartbeat:
+		p := f.Heartbeat
+		return &p
+	case TypeHello:
+		p := f.Hello
+		return &p
+	default:
+		return nil
+	}
+}
+
+// DecodeInto parses one complete frame produced by Encode/AppendFrame
+// into f, reusing f's storage instead of allocating a packet.
+func DecodeInto(f *Frame, frame []byte) error {
 	if len(frame) < 6 {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	if frame[0] != Magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if frame[1] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, frame[1])
+		return fmt.Errorf("%w: %d", ErrBadVersion, frame[1])
 	}
 	n := int(frame[3])
 	if n > MaxPayload {
-		return nil, ErrOversized
+		return ErrOversized
 	}
 	if len(frame) != 6+n {
-		return nil, ErrShortFrame
+		return ErrShortFrame
 	}
 	want := binary.BigEndian.Uint16(frame[4+n:])
 	if got := CRC16(frame[1 : 4+n]); got != want {
-		return nil, fmt.Errorf("%w: got 0x%04x want 0x%04x", ErrBadCRC, got, want)
+		return fmt.Errorf("%w: got 0x%04x want 0x%04x", ErrBadCRC, got, want)
 	}
-	p, err := newPacket(Type(frame[2]))
-	if err != nil {
+	body := frame[4 : 4+n]
+	switch t := Type(frame[2]); t {
+	case TypeUsageStart:
+		f.Kind = t
+		return f.UsageStart.parse(body)
+	case TypeUsageEnd:
+		f.Kind = t
+		return f.UsageEnd.parse(body)
+	case TypeLEDCommand:
+		f.Kind = t
+		return f.LEDCommand.parse(body)
+	case TypeAck:
+		f.Kind = t
+		return f.Ack.parse(body)
+	case TypeHeartbeat:
+		f.Kind = t
+		return f.Heartbeat.parse(body)
+	case TypeHello:
+		f.Kind = t
+		return f.Hello.parse(body)
+	default:
+		return fmt.Errorf("%w: 0x%02x", ErrUnknownType, byte(t))
+	}
+}
+
+// Decode parses one complete frame produced by Encode, returning a
+// freshly allocated packet. Hot paths should prefer DecodeInto (or
+// Reader.ReadFrame), which parse into a reusable Frame instead.
+func Decode(frame []byte) (Packet, error) {
+	var f Frame
+	if err := DecodeInto(&f, frame); err != nil {
 		return nil, err
 	}
-	if err := p.parse(frame[4 : 4+n]); err != nil {
-		return nil, err
-	}
-	return p, nil
+	return f.detach(), nil
+}
+
+// bufPool recycles frame buffers across Writers, so short-lived
+// connections do not each pay a buffer allocation. Pool contents are raw
+// bytes that every use fully overwrites before writing, which is why
+// pooling here cannot perturb what goes on the wire (see DESIGN.md §12:
+// sync.Pool is sanctioned only in the serving layer).
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4*MaxFrame)
+		return &b
+	},
 }
 
 // Writer writes frames to an underlying byte stream (e.g. a TCP
 // connection). It is not safe for concurrent use; wrap with a mutex if
 // multiple goroutines share it.
+//
+// Frames can either be written one at a time (WritePacket) or queued with
+// QueuePacket and flushed in one underlying Write (Flush) — the batched
+// path the rtbridge server uses to amortize syscalls across a burst of
+// acks and LED commands. The frame buffer is pooled: call Release when
+// the Writer is done to recycle it.
 type Writer struct {
-	w io.Writer
+	w   io.Writer
+	buf *[]byte // pooled; nil until first use and after Release
 }
 
 // NewWriter returns a frame writer over w.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 
-// WritePacket encodes and writes one packet.
+// WritePacket encodes and writes one packet (any queued frames are
+// flushed with it, in order).
 func (w *Writer) WritePacket(p Packet) error {
-	frame, err := Encode(p)
+	if err := w.QueuePacket(p); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// QueuePacket encodes one packet into the pending buffer without writing
+// to the underlying stream. A failed encode leaves the pending buffer
+// unchanged.
+func (w *Writer) QueuePacket(p Packet) error {
+	if w.buf == nil {
+		w.buf = bufPool.Get().(*[]byte)
+	}
+	b, err := AppendFrame(*w.buf, p)
 	if err != nil {
 		return err
 	}
-	_, err = w.w.Write(frame)
+	*w.buf = b
+	return nil
+}
+
+// Buffered returns the number of pending bytes queued and not yet
+// flushed.
+func (w *Writer) Buffered() int {
+	if w.buf == nil {
+		return 0
+	}
+	return len(*w.buf)
+}
+
+// Flush writes every queued frame in one Write call. It is a no-op with
+// nothing queued. The buffer is retained (emptied) for the next queue.
+func (w *Writer) Flush() error {
+	if w.buf == nil || len(*w.buf) == 0 {
+		return nil
+	}
+	_, err := w.w.Write(*w.buf)
+	*w.buf = (*w.buf)[:0]
 	return err
 }
 
+// Release returns the frame buffer to the pool, discarding anything still
+// queued. The Writer remains usable — the next QueuePacket draws a fresh
+// buffer — but callers normally Release once, when the connection closes.
+func (w *Writer) Release() {
+	if w.buf == nil {
+		return
+	}
+	*w.buf = (*w.buf)[:0]
+	bufPool.Put(w.buf)
+	w.buf = nil
+}
+
 // Reader reads frames from an underlying byte stream, resynchronizing on
-// the magic byte after corruption.
+// the magic byte after corruption. Its frame buffer is inline (frames are
+// bounded at MaxFrame bytes), so steady-state reads never allocate.
 type Reader struct {
 	r   io.Reader
-	buf [6 + MaxPayload]byte
+	buf [MaxFrame]byte
 }
 
 // NewReader returns a frame reader over r.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
 // ReadPacket reads the next valid frame, skipping garbage bytes until a
-// frame parses. It returns the underlying stream error (e.g. io.EOF) when
-// the stream ends.
+// frame parses, and returns a freshly allocated packet. It returns the
+// underlying stream error (e.g. io.EOF) when the stream ends. Hot paths
+// should prefer ReadFrame, which parses into a reusable Frame instead.
 func (r *Reader) ReadPacket() (Packet, error) {
+	var f Frame
+	if err := r.ReadFrame(&f); err != nil {
+		return nil, err
+	}
+	return f.detach(), nil
+}
+
+// ReadFrame reads the next valid frame into f, skipping garbage bytes
+// until a frame parses — the allocation-free read path (Hello excepted
+// for its household string). It returns the underlying stream error
+// (e.g. io.EOF) when the stream ends.
+func (r *Reader) ReadFrame(f *Frame) error {
 	for {
 		// Hunt for the magic byte.
 		if err := r.readFull(r.buf[:1]); err != nil {
-			return nil, err
+			return err
 		}
 		if r.buf[0] != Magic {
 			continue
 		}
 		// Header: version, type, length.
 		if err := r.readFull(r.buf[1:4]); err != nil {
-			return nil, err
+			return err
 		}
 		n := int(r.buf[3])
 		if n > MaxPayload {
 			continue // implausible length: resync
 		}
 		if err := r.readFull(r.buf[4 : 6+n]); err != nil {
-			return nil, err
+			return err
 		}
-		p, err := Decode(r.buf[:6+n])
-		if err != nil {
+		if err := DecodeInto(f, r.buf[:6+n]); err != nil {
 			// Corrupt frame: resync on the next magic byte.
 			continue
 		}
-		return p, nil
+		return nil
 	}
 }
 

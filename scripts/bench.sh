@@ -39,6 +39,38 @@ echo "$raw"
 
 echo "wrote $out"
 
+# Wire codec: the zero-allocation serving fast paths (append-based
+# encode, union decode, pooled writer, resyncing reader).
+wout=BENCH_wire.json
+wpattern='BenchmarkEncode|BenchmarkDecode|BenchmarkWritePacket|BenchmarkReadPacket'
+wraw=$(go test -run '^$' -bench "$wpattern" -benchmem -count 1 ./internal/wire/)
+echo "$wraw"
+
+{
+    echo '{'
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN),"
+    echo '  "note": "Serving-path codec fast paths. allocs_per_op must stay 0 (enforced by TestServingFastPathsZeroAlloc in the no-race pass of scripts/check.sh).",'
+    echo '  "benchmarks": ['
+    echo "$wraw" | awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            nsop = ""; bop = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") nsop = $i
+                if ($(i+1) == "B/op") bop = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, allocs)
+        }
+        END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+    '
+    echo '  ]'
+    echo '}'
+} > "$wout"
+
+echo "wrote $wout"
+
 # Fleet throughput: 1000 households through the sharded runtime at the
 # host's natural shard count. The deterministic soak outcome goes to
 # stdout; the wall-clock numbers land in the JSON.

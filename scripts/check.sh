@@ -25,6 +25,12 @@ go build ./...
 echo "== go test -race"
 go test -race ./...
 
+# The zero-allocation budgets on the serving path skip themselves under
+# the race detector (its instrumentation allocates), so they are
+# enforced by an explicit no-race pass over the serving packages.
+echo "== alloc budgets (no race)"
+go test -run 'Alloc' ./internal/wire/
+
 echo "== chaos soak (workers 1 vs 4 must match)"
 go run ./cmd/coreda-bench -workers 1 chaos > /tmp/coreda-soak-w1.txt
 go run ./cmd/coreda-bench -workers 4 chaos > /tmp/coreda-soak-w4.txt
