@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint check bench experiments examples fuzz clean
+.PHONY: all build test race vet vet-json lint check bench experiments examples fuzz clean
 
 all: check
 
@@ -20,9 +20,17 @@ vet:
 
 # lint = the stock vet plus CoReDA's own invariant analyzers
 # (determinism, reward constants, single-threaded discipline, dropped
-# errors, map-iteration order); see internal/analysis.
+# errors, map-iteration order, shard affinity, locks held across
+# blocking calls, hot-path escapes, ignore-directive hygiene); see
+# internal/analysis.
 lint: vet
 	$(GO) run ./cmd/coreda-vet ./...
+
+# vet-json emits the full suite's diagnostics as vet-report.json for
+# editor and CI consumption. The target fails when there are findings;
+# the report is written either way.
+vet-json:
+	$(GO) run ./cmd/coreda-vet -json ./... > vet-report.json
 
 # check is the full local gate, same set scripts/check.sh runs in CI.
 check: build test lint race
@@ -48,4 +56,4 @@ fuzz:
 
 clean:
 	$(GO) clean -testcache
-	rm -f coreda-sim coreda-train coreda-server coreda-node coreda-bench coreda-report
+	rm -f coreda-sim coreda-train coreda-server coreda-node coreda-bench coreda-report vet-report.json

@@ -3,16 +3,25 @@
 //
 // Usage:
 //
-//	coreda-vet [-only analyzer,analyzer] [-list] [packages]
+//	coreda-vet [-only a,b] [-skip a,b] [-json] [-diff] [-list] [packages]
 //
 // With no package arguments it analyzes ./.... Each finding prints as
 //
 //	file:line:col: analyzer: message
 //
+// -json emits the machine-readable diagnostic document instead (one
+// object per finding with file/line/analyzer/severity, for CI
+// annotation), and -diff renders the suggested fixes findings carry as a
+// unified diff. A pattern matching no packages is an error (exit 2), not
+// a clean run.
+//
 // Suppress an individual finding with a line directive on the same line
 // or the line above:
 //
 //	//coreda:vet-ignore <analyzer> <reason>
+//
+// Directives are audited by the ignorecheck analyzer; stale ones are
+// findings themselves.
 package main
 
 import (
@@ -26,9 +35,12 @@ import (
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := flag.String("skip", "", "comma-separated analyzer names to skip")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON document on stdout")
+	diffOut := flag.Bool("diff", false, "render suggested fixes as a unified diff on stdout")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: coreda-vet [-only analyzer,...] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: coreda-vet [-only a,b] [-skip a,b] [-json] [-diff] [-list] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -52,6 +64,24 @@ func main() {
 			analyzers = append(analyzers, a)
 		}
 	}
+	if *skip != "" {
+		skipped := map[string]bool{}
+		for _, name := range strings.Split(*skip, ",") {
+			name = strings.TrimSpace(name)
+			if analysis.ByName(name) == nil {
+				fmt.Fprintf(os.Stderr, "coreda-vet: unknown analyzer %q (try -list)\n", name)
+				os.Exit(2)
+			}
+			skipped[name] = true
+		}
+		var kept []*analysis.Analyzer
+		for _, a := range analyzers {
+			if !skipped[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -73,8 +103,21 @@ func main() {
 	}
 
 	findings := analysis.RunPackages(pkgs, analyzers)
-	for _, f := range findings {
-		fmt.Println(f)
+	switch {
+	case *jsonOut:
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "coreda-vet: %v\n", err)
+			os.Exit(2)
+		}
+	case *diffOut:
+		if err := analysis.WriteDiff(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "coreda-vet: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "coreda-vet: %d finding(s)\n", len(findings))

@@ -3,8 +3,12 @@
 // cannot check: reproducible simulation (all randomness through seeded
 // *rand.Rand streams, all time through sim.Scheduler), the canonical
 // 1000/100/50 reward constants, the documented single-threaded discipline
-// of System/Hub and internal/core, no silently dropped errors, and no
-// order-sensitive iteration over tool/step maps.
+// of System/Hub and internal/core, no silently dropped errors, no
+// order-sensitive iteration over tool/step maps — and, since v2, the
+// fleet-era runtime invariants: tenant state only touched from its owning
+// shard loop (shardaffinity), no mutex held across blocking calls on
+// serve paths (lockheld), no heap escapes in //coreda:hotpath functions
+// (hotalloc), and no stale suppression directives (ignorecheck).
 //
 // The suite is built on the standard library only (go/ast, go/parser,
 // go/types, plus `go list -json` shelling for package discovery), keeping
@@ -17,8 +21,11 @@
 //	//coreda:vet-ignore <analyzer> <reason>
 //
 // The analyzer name must match exactly ("all" suppresses every analyzer)
-// and a reason is required; a directive without a reason is itself
-// reported.
+// and a reason is required. Directives are themselves audited by the
+// ignorecheck analyzer: a reasonless directive, an unknown analyzer name,
+// or a directive that no longer suppresses anything is a finding (the
+// last with a ready-made deletion Fix). Ignorecheck findings cannot be
+// suppressed.
 package analysis
 
 import (
@@ -30,11 +37,35 @@ import (
 	"strings"
 )
 
+// Severity classifies a finding for CI annotation: errors gate merges,
+// warnings are advisory (both still fail the vet run — a warning you
+// disagree with should be fixed or its rule changed, not ignored).
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// Fix is an optional machine-applicable suggestion attached to a
+// finding: replace the source range [Start, End) with NewText. Rendered
+// as a unified diff by coreda-vet -diff.
+type Fix struct {
+	Description string
+	// Start and End delimit the byte range to replace, as resolved
+	// positions (End exclusive). Both are in the same file.
+	Start, End token.Position
+	NewText    string
+}
+
 // Finding is one rule violation at a source position.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
+	Severity Severity
 	Message  string
+	// Fix, when non-nil, is a suggested edit that resolves the finding.
+	Fix *Fix
 }
 
 func (f Finding) String() string {
@@ -59,6 +90,7 @@ type Pass struct {
 	Analyzer   *Analyzer
 	Fset       *token.FileSet
 	Files      []*ast.File
+	Dir        string
 	ImportPath string
 	// TypesPkg and TypesInfo are nil when type-checking was skipped or
 	// failed; NeedsTypes analyzers are not run in that case.
@@ -66,24 +98,46 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	findings *[]Finding
+	// directives and ran are populated only for the ignorecheck pass,
+	// which audits suppression directives after the other analyzers run.
+	directives []*directive
+	ran        map[string]bool
 }
 
-// Reportf records a finding at pos.
+// Reportf records an error-severity finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
 		Pos:      p.Fset.Position(pos),
 		Analyzer: p.Analyzer.Name,
+		Severity: SeverityError,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
-// All is every analyzer of the suite, in report order.
+// Report records a fully specified finding, filling in the analyzer name
+// and defaulting the severity to error.
+func (p *Pass) Report(f Finding) {
+	if f.Analyzer == "" {
+		f.Analyzer = p.Analyzer.Name
+	}
+	if f.Severity == "" {
+		f.Severity = SeverityError
+	}
+	*p.findings = append(*p.findings, f)
+}
+
+// All is every analyzer of the suite, in report order. IgnoreCheck must
+// come last: it audits the directives the preceding analyzers consumed.
 var All = []*Analyzer{
 	Nondeterminism,
 	RewardConst,
 	SchedOnly,
 	DroppedErr,
 	ToolIDMap,
+	ShardAffinity,
+	LockHeld,
+	HotAlloc,
+	IgnoreCheck,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -97,27 +151,59 @@ func ByName(name string) *Analyzer {
 }
 
 // RunPackage runs the analyzers over one loaded package and returns the
-// findings that survive //coreda:vet-ignore filtering, sorted by position.
+// findings that survive //coreda:vet-ignore filtering, sorted by
+// position. If the analyzer set includes IgnoreCheck it runs last,
+// seeing which directives actually suppressed something.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Finding {
+	dirs := collectDirectives(pkg)
 	var findings []Finding
+	ran := map[string]bool{}
+	runIgnore := false
 	for _, a := range analyzers {
+		if a == IgnoreCheck {
+			runIgnore = true
+			continue
+		}
 		if a.NeedsTypes && pkg.TypesInfo == nil {
 			continue
 		}
-		pass := &Pass{
-			Analyzer:   a,
-			Fset:       pkg.Fset,
-			Files:      pkg.Files,
-			ImportPath: pkg.ImportPath,
-			TypesPkg:   pkg.TypesPkg,
-			TypesInfo:  pkg.TypesInfo,
-			findings:   &findings,
-		}
-		a.Run(pass)
+		ran[a.Name] = true
+		a.Run(newPass(a, pkg, &findings))
 	}
-	findings = append(findings, filterIgnored(pkg, &findings)...)
+
+	// Suppress findings covered by a reasoned directive on the same line
+	// or the line above, marking the directive as used for ignorecheck.
+	kept := findings[:0]
+	for _, f := range findings {
+		if d := suppressing(dirs, f); d != nil {
+			d.used = true
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	findings = kept
+
+	if runIgnore {
+		pass := newPass(IgnoreCheck, pkg, &findings)
+		pass.directives = dirs
+		pass.ran = ran
+		IgnoreCheck.Run(pass)
+	}
 	sortFindings(findings)
 	return findings
+}
+
+func newPass(a *Analyzer, pkg *Package, findings *[]Finding) *Pass {
+	return &Pass{
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Dir:        pkg.Dir,
+		ImportPath: pkg.ImportPath,
+		TypesPkg:   pkg.TypesPkg,
+		TypesInfo:  pkg.TypesInfo,
+		findings:   findings,
+	}
 }
 
 // RunPackages runs the analyzers over every package and returns all
@@ -147,20 +233,21 @@ func sortFindings(fs []Finding) {
 	})
 }
 
-// ignoreDirective is one parsed //coreda:vet-ignore comment.
-type ignoreDirective struct {
-	analyzer  string // specific analyzer name, or "all"
-	hasReason bool
-}
-
 const directivePrefix = "coreda:vet-ignore"
 
-// filterIgnored removes findings suppressed by ignore directives from
-// *findings (in place) and returns extra findings for malformed
-// directives (missing analyzer name or reason).
-func filterIgnored(pkg *Package, findings *[]Finding) []Finding {
-	directives := map[fileLine][]ignoreDirective{}
-	var malformed []Finding
+// directive is one parsed //coreda:vet-ignore comment.
+type directive struct {
+	pos      token.Position
+	end      token.Position // one past the comment text
+	analyzer string         // specific analyzer name, or "all"; "" if absent
+	reason   bool           // a reason string follows the analyzer name
+	used     bool           // the directive suppressed at least one finding
+}
+
+// collectDirectives parses every //coreda:vet-ignore comment in the
+// package, in file order.
+func collectDirectives(pkg *Package) []*directive {
+	var dirs []*directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -169,54 +256,34 @@ func filterIgnored(pkg *Package, findings *[]Finding) []Finding {
 					continue
 				}
 				fields := strings.Fields(strings.TrimPrefix(text, directivePrefix))
-				pos := pkg.Fset.Position(c.Pos())
-				if len(fields) == 0 {
-					malformed = append(malformed, Finding{
-						Pos:      pos,
-						Analyzer: "vet",
-						Message:  "malformed ignore directive: want //coreda:vet-ignore <analyzer> <reason>",
-					})
-					continue
+				d := &directive{
+					pos: pkg.Fset.Position(c.Pos()),
+					end: pkg.Fset.Position(c.End()),
 				}
-				d := ignoreDirective{analyzer: fields[0], hasReason: len(fields) > 1}
-				if !d.hasReason {
-					malformed = append(malformed, Finding{
-						Pos:      pos,
-						Analyzer: "vet",
-						Message:  fmt.Sprintf("ignore directive for %q is missing a reason", d.analyzer),
-					})
+				if len(fields) > 0 {
+					d.analyzer = fields[0]
+					d.reason = len(fields) > 1
 				}
-				k := fileLine{pos.Filename, pos.Line}
-				directives[k] = append(directives[k], d)
+				dirs = append(dirs, d)
 			}
 		}
 	}
-	if len(directives) == 0 {
-		return malformed
-	}
-	kept := (*findings)[:0]
-	for _, f := range *findings {
-		if !suppressed(directives, f) {
-			kept = append(kept, f)
-		}
-	}
-	*findings = kept
-	return malformed
+	return dirs
 }
 
-func suppressed(directives map[fileLine][]ignoreDirective, f Finding) bool {
-	for _, line := range [2]int{f.Pos.Line, f.Pos.Line - 1} {
-		for _, d := range directives[fileLine{f.Pos.Filename, line}] {
-			if d.hasReason && (d.analyzer == f.Analyzer || d.analyzer == "all") {
-				return true
-			}
+// suppressing returns the first reasoned directive covering the finding
+// (same line or the line above), or nil.
+func suppressing(dirs []*directive, f Finding) *directive {
+	for _, d := range dirs {
+		if !d.reason || d.pos.Filename != f.Pos.Filename {
+			continue
+		}
+		if d.pos.Line != f.Pos.Line && d.pos.Line != f.Pos.Line-1 {
+			continue
+		}
+		if d.analyzer == f.Analyzer || d.analyzer == "all" {
+			return d
 		}
 	}
-	return false
-}
-
-// fileLine keys directives by position.
-type fileLine struct {
-	file string
-	line int
+	return nil
 }

@@ -29,40 +29,55 @@ func TestAnalyzers(t *testing.T) {
 	cases := []struct {
 		name       string
 		analyzer   *Analyzer
-		dir        string // under testdata/src
-		importPath string // package path the fixture is checked as
-		clean      bool   // expect zero findings, ignore want comments
+		dir        string      // under testdata/src
+		importPath string      // package path the fixture is checked as
+		clean      bool        // expect zero findings, ignore want comments
+		extra      []*Analyzer // run alongside (e.g. a feeder for ignorecheck)
 	}{
-		{"nondeterminism", Nondeterminism, "nondet", "coreda/internal/sim", false},
-		{"nondeterminism/chaos-scoped", Nondeterminism, "nondet", "coreda/internal/chaos", false},
-		{"nondeterminism/rtbridge-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/rtbridge", true},
-		{"nondeterminism/cmd-allowlisted", Nondeterminism, "nondet_allowed", "coreda/cmd/coreda-node", true},
+		{"nondeterminism", Nondeterminism, "nondet", "coreda/internal/sim", false, nil},
+		{"nondeterminism/chaos-scoped", Nondeterminism, "nondet", "coreda/internal/chaos", false, nil},
+		{"nondeterminism/rtbridge-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/rtbridge", true, nil},
+		{"nondeterminism/cmd-allowlisted", Nondeterminism, "nondet_allowed", "coreda/cmd/coreda-node", true, nil},
 		// "chaosnet" shares the "chaos" prefix as a string but is not a
 		// subpackage; the scope match must not swallow it.
-		{"nondeterminism/chaosnet-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/chaosnet", true},
-		{"rewardconst", RewardConst, "rewardconst", "coreda/internal/experiments", false},
-		{"rewardconst/core-canonical", RewardConst, "rewardcore", "coreda/internal/core", true},
-		{"schedonly", SchedOnly, "schedonly", "coreda/internal/core", false},
+		{"nondeterminism/chaosnet-allowlisted", Nondeterminism, "nondet_allowed", "coreda/internal/chaosnet", true, nil},
+		{"rewardconst", RewardConst, "rewardconst", "coreda/internal/experiments", false, nil},
+		{"rewardconst/core-canonical", RewardConst, "rewardcore", "coreda/internal/core", true, nil},
+		{"schedonly", SchedOnly, "schedonly", "coreda/internal/core", false, nil},
 		// The experiments layer joined the single-threaded scope when
 		// parrun became its only concurrency outlet: the same fixture's
 		// spawns must be flagged there too.
-		{"schedonly/experiments-scoped", SchedOnly, "schedonly", "coreda/internal/experiments", false},
+		{"schedonly/experiments-scoped", SchedOnly, "schedonly", "coreda/internal/experiments", false, nil},
 		// The fault injector joined the single-threaded scope with the
 		// chaos package: a goroutine there would unseed the fault schedule.
-		{"schedonly/chaos-scoped", SchedOnly, "schedonly", "coreda/internal/chaos", false},
-		{"schedonly/concurrent-pkg-allowed", SchedOnly, "schedonly", "coreda/internal/sensornet", true},
-		{"schedonly/chaosnet-allowed", SchedOnly, "schedonly", "coreda/internal/chaosnet", true},
-		{"schedonly/parrun-allowance", SchedOnly, "schedonly_parrun", "coreda/internal/parrun", true},
-		{"droppederr", DroppedErr, "droppederr", "coreda/internal/store", false},
-		{"droppederr/root-out-of-scope", DroppedErr, "droppederr", "coreda", true},
-		{"toolidmap", ToolIDMap, "toolidmap", "coreda/internal/report", false},
+		{"schedonly/chaos-scoped", SchedOnly, "schedonly", "coreda/internal/chaos", false, nil},
+		{"schedonly/concurrent-pkg-allowed", SchedOnly, "schedonly", "coreda/internal/sensornet", true, nil},
+		{"schedonly/chaosnet-allowed", SchedOnly, "schedonly", "coreda/internal/chaosnet", true, nil},
+		{"schedonly/parrun-allowance", SchedOnly, "schedonly_parrun", "coreda/internal/parrun", true, nil},
+		{"droppederr", DroppedErr, "droppederr", "coreda/internal/store", false, nil},
+		{"droppederr/root-out-of-scope", DroppedErr, "droppederr", "coreda", true, nil},
+		{"toolidmap", ToolIDMap, "toolidmap", "coreda/internal/report", false, nil},
+		{"shardaffinity", ShardAffinity, "shardaffinity", "coreda/internal/fleet", false, nil},
+		// The same fixture outside the shard-scoped packages is silent.
+		{"shardaffinity/out-of-scope", ShardAffinity, "shardaffinity", "coreda/internal/rtbridge", true, nil},
+		{"lockheld", LockHeld, "lockheld", "coreda/internal/rtbridge", false, nil},
+		{"lockheld/out-of-scope", LockHeld, "lockheld", "coreda/internal/stats", true, nil},
+		{"hotalloc", HotAlloc, "hotalloc", "coreda/internal/hotalloc", false, nil},
+		// ignorecheck judges directives against what actually ran:
+		// Nondeterminism is the feeder, droppederr/"all" stay un-judged.
+		{"ignorecheck", IgnoreCheck, "ignorecheck", "coreda/internal/sim", false, []*Analyzer{Nondeterminism}},
 	}
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
-			pkg := loadFixture(t, tc.dir, tc.importPath, tc.analyzer.NeedsTypes)
-			findings := RunPackage(pkg, []*Analyzer{tc.analyzer})
+			analyzers := append([]*Analyzer{tc.analyzer}, tc.extra...)
+			needsTypes := false
+			for _, a := range analyzers {
+				needsTypes = needsTypes || a.NeedsTypes
+			}
+			pkg := loadFixture(t, tc.dir, tc.importPath, needsTypes)
+			findings := RunPackage(pkg, analyzers)
 			if tc.clean {
 				for _, f := range findings {
 					t.Errorf("unexpected finding in clean case: %s", f)
@@ -184,6 +199,12 @@ func checkWants(t *testing.T, pkg *Package, findings []Finding) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				// A //coreda:vet-ignore line cannot carry a separate
+				// comment, so ignorecheck fixtures embed the expectation
+				// in the directive text; extract it from there too.
+				if i := strings.Index(text, "want `"); strings.HasPrefix(text, directivePrefix) && i >= 0 {
+					text = text[i:]
+				}
 				if !strings.HasPrefix(text, "want ") {
 					continue
 				}

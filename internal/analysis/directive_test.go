@@ -7,12 +7,11 @@ import (
 
 // TestIgnoreDirectives pins the //coreda:vet-ignore contract on the
 // directives fixture: a reason is mandatory, suppression is per-analyzer,
-// and malformed directives surface as findings of the "vet" pseudo
-// analyzer.
+// and directive hygiene violations surface as ignorecheck findings.
 func TestIgnoreDirectives(t *testing.T) {
 	t.Parallel()
 	pkg := loadFixture(t, "directives", "coreda/internal/sim", false)
-	findings := RunPackage(pkg, []*Analyzer{Nondeterminism})
+	findings := RunPackage(pkg, []*Analyzer{Nondeterminism, IgnoreCheck})
 
 	byAnalyzer := map[string][]Finding{}
 	for _, f := range findings {
@@ -26,12 +25,17 @@ func TestIgnoreDirectives(t *testing.T) {
 		t.Errorf("want 2 surviving nondeterminism findings, got %d: %v", got, byAnalyzer["nondeterminism"])
 	}
 
-	// The reason-less directive is itself reported.
-	vet := byAnalyzer["vet"]
-	if len(vet) != 1 {
-		t.Fatalf("want 1 malformed-directive finding, got %d: %v", len(vet), vet)
+	// The reason-less directive is itself reported by ignorecheck; the
+	// toolidmap directive is aimed at an analyzer that did not run, so it
+	// cannot be judged stale and stays silent.
+	ic := byAnalyzer["ignorecheck"]
+	if len(ic) != 1 {
+		t.Fatalf("want 1 ignorecheck finding, got %d: %v", len(ic), ic)
 	}
-	if !strings.Contains(vet[0].Message, "missing a reason") {
-		t.Errorf("malformed-directive message = %q, want it to mention the missing reason", vet[0].Message)
+	if !strings.Contains(ic[0].Message, "missing a reason") {
+		t.Errorf("ignorecheck message = %q, want it to mention the missing reason", ic[0].Message)
+	}
+	if ic[0].Severity != SeverityError {
+		t.Errorf("missing-reason severity = %q, want %q", ic[0].Severity, SeverityError)
 	}
 }

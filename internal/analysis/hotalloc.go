@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc turns the serving path's AllocsPerRun budgets into a
+// compile-time gate. A function annotated
+//
+//	//coreda:hotpath
+//
+// in its doc comment must not contain heap escapes: the analyzer runs
+// `go build -gcflags=-m=2` for the package, parses the compiler's escape
+// analysis ("X escapes to heap", "moved to heap: X"), and reports any
+// escape whose position falls inside an annotated function — naming the
+// escaping expression, which an AllocsPerRun count never does.
+//
+// Escapes inside calls to Errorf/Sprintf/log are sanctioned: those are
+// cold error/log paths that only execute when the hot path has already
+// failed, and boxing their operands is how fmt works. The build cache
+// replays compiler diagnostics, so repeated runs stay cheap.
+//
+// The analyzer is build-mode sensitive (-gcflags output differs under
+// -race), so scripts/check.sh runs it in the no-race phase.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//coreda:hotpath functions must not gain heap escapes (go build -gcflags=-m=2 gate)",
+	Run:  runHotAlloc,
+}
+
+const hotpathDirective = "coreda:hotpath"
+
+// hotFunc is one annotated function: where it lives and which spans
+// inside it are sanctioned cold-path calls.
+type hotFunc struct {
+	title      string
+	file       string // basename
+	start, end token.Position
+	sanctioned [][2]token.Position
+}
+
+// coldCallees are call targets whose argument boxing is sanctioned
+// inside hot paths (error formatting and logging only run on failure).
+var coldCallees = map[string]bool{"Errorf": true, "Sprintf": true, "log": true}
+
+func runHotAlloc(pass *Pass) {
+	hot := collectHotFuncs(pass)
+	if len(hot) == 0 {
+		return
+	}
+	// Full filename per basename, for reporting positions.
+	fullName := map[string]string{}
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		fullName[filepath.Base(name)] = name
+	}
+	out, err := escapeOutput(pass.Dir)
+	if err != nil {
+		pass.Reportf(pass.Files[0].Pos(), "cannot run escape analysis: %v", err)
+		return
+	}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		file, ln, col, msg, ok := parseEscapeLine(line)
+		if !ok {
+			continue
+		}
+		base := filepath.Base(file)
+		full, ours := fullName[base]
+		// Skip diagnostics replayed from other packages (inlined
+		// generics print with ../pkg/ paths).
+		if !ours || strings.HasPrefix(file, "..") {
+			continue
+		}
+		hf := hotFuncAt(hot, base, ln)
+		if hf == nil || hf.sanctionedAt(ln, col) {
+			continue
+		}
+		key := fmt.Sprintf("%s:%d:%d:%s", base, ln, col, msg)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		pass.Report(Finding{
+			Pos:     token.Position{Filename: full, Line: ln, Column: col},
+			Message: fmt.Sprintf("hot path %s: %s", hf.title, msg),
+		})
+	}
+}
+
+// collectHotFuncs finds every function whose doc comment carries the
+// //coreda:hotpath directive.
+func collectHotFuncs(pass *Pass) []*hotFunc {
+	var hot []*hotFunc
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil || fd.Body == nil {
+				continue
+			}
+			annotated := false
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+					annotated = true
+					break
+				}
+			}
+			if !annotated {
+				continue
+			}
+			hf := &hotFunc{
+				title: funcTitle(fd),
+				file:  filepath.Base(pass.Fset.Position(fd.Pos()).Filename),
+				start: pass.Fset.Position(fd.Pos()),
+				end:   pass.Fset.Position(fd.End()),
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name := ""
+				switch fun := call.Fun.(type) {
+				case *ast.SelectorExpr:
+					name = fun.Sel.Name
+				case *ast.Ident:
+					name = fun.Name
+				}
+				if coldCallees[name] {
+					hf.sanctioned = append(hf.sanctioned, [2]token.Position{
+						pass.Fset.Position(call.Pos()),
+						pass.Fset.Position(call.End()),
+					})
+				}
+				return true
+			})
+			hot = append(hot, hf)
+		}
+	}
+	return hot
+}
+
+func hotFuncAt(hot []*hotFunc, base string, line int) *hotFunc {
+	for _, hf := range hot {
+		if hf.file == base && line >= hf.start.Line && line <= hf.end.Line {
+			return hf
+		}
+	}
+	return nil
+}
+
+// sanctionedAt reports whether the position lies inside a cold-path call
+// span of this function.
+func (hf *hotFunc) sanctionedAt(line, col int) bool {
+	for _, r := range hf.sanctioned {
+		afterStart := line > r[0].Line || line == r[0].Line && col >= r[0].Column
+		beforeEnd := line < r[1].Line || line == r[1].Line && col <= r[1].Column
+		if afterStart && beforeEnd {
+			return true
+		}
+	}
+	return false
+}
+
+// escapeOutput runs the compiler's escape analysis for the package in
+// dir and returns its diagnostics. The build cache replays diagnostics
+// for unchanged packages, so this is fast on repeated runs.
+func escapeOutput(dir string) (string, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m=2", ".")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("go build -gcflags=-m=2: %v\n%s", err, stderr.Bytes())
+	}
+	return stderr.String(), nil
+}
+
+var escapeLineRe = regexp.MustCompile(`^([^ \t:][^:]*):(\d+):(\d+): (.+)$`)
+
+// parseEscapeLine extracts one escape diagnostic; non-escape lines
+// (inlining decisions, parameter leaks, indented detail) return !ok.
+func parseEscapeLine(line string) (file string, ln, col int, msg string, ok bool) {
+	m := escapeLineRe.FindStringSubmatch(line)
+	if m == nil {
+		return "", 0, 0, "", false
+	}
+	msg = strings.TrimSuffix(m[4], ":")
+	if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+		return "", 0, 0, "", false
+	}
+	ln, lnErr := strconv.Atoi(m[2])
+	col, colErr := strconv.Atoi(m[3])
+	if lnErr != nil || colErr != nil {
+		return "", 0, 0, "", false
+	}
+	return m[1], ln, col, msg, true
+}

@@ -1,0 +1,74 @@
+package analysis
+
+import "fmt"
+
+// IgnoreCheck audits //coreda:vet-ignore directives themselves. Three
+// rules:
+//
+//  1. A directive must name an analyzer and give a reason:
+//     //coreda:vet-ignore <analyzer> <reason...>. Anything less is an
+//     error — a suppression nobody can audit is worse than the finding.
+//  2. The analyzer name must exist (or be "all").
+//  3. A well-formed directive whose analyzer ran in this pass and that
+//     suppressed nothing is stale: the code it excused was fixed or
+//     moved, and the directive now only masks future regressions. Stale
+//     directives are warnings carrying a deletion Fix (rendered by
+//     coreda-vet -diff). "all" directives are judged stale only when the
+//     full suite ran, since any single analyzer could be their target.
+//
+// IgnoreCheck runs after every other analyzer in the pass so it can see
+// which directives were consumed. Its own findings cannot be suppressed.
+var IgnoreCheck = &Analyzer{
+	Name: "ignorecheck",
+	Doc:  "flags malformed, unknown or stale //coreda:vet-ignore directives",
+}
+
+// Run is attached in init: runIgnoreCheck walks All (to judge staleness
+// of "all" directives), which would otherwise be an initialization cycle.
+func init() { IgnoreCheck.Run = runIgnoreCheck }
+
+func runIgnoreCheck(pass *Pass) {
+	// ranAll: every non-meta analyzer of the suite ran, so an unused
+	// "all" directive provably suppresses nothing.
+	ranAll := true
+	for _, a := range All {
+		if a != IgnoreCheck && !pass.ran[a.Name] {
+			ranAll = false
+			break
+		}
+	}
+	for _, d := range pass.directives {
+		switch {
+		case d.analyzer == "":
+			pass.Report(Finding{
+				Pos:      d.pos,
+				Severity: SeverityError,
+				Message:  "malformed ignore directive: want //coreda:vet-ignore <analyzer> <reason>",
+			})
+		case d.analyzer != "all" && ByName(d.analyzer) == nil:
+			pass.Report(Finding{
+				Pos:      d.pos,
+				Severity: SeverityError,
+				Message:  fmt.Sprintf("ignore directive names unknown analyzer %q (try coreda-vet -list)", d.analyzer),
+			})
+		case !d.reason:
+			pass.Report(Finding{
+				Pos:      d.pos,
+				Severity: SeverityError,
+				Message:  fmt.Sprintf("ignore directive for %q is missing a reason", d.analyzer),
+			})
+		case !d.used && (d.analyzer == "all" && ranAll || d.analyzer != "all" && pass.ran[d.analyzer]):
+			pass.Report(Finding{
+				Pos:      d.pos,
+				Severity: SeverityWarning,
+				Message:  fmt.Sprintf("stale ignore directive: %q reports nothing here; delete it", d.analyzer),
+				Fix: &Fix{
+					Description: "delete the stale directive",
+					Start:       d.pos,
+					End:         d.end,
+					NewText:     "",
+				},
+			})
+		}
+	}
+}

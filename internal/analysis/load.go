@@ -34,60 +34,131 @@ type listPkg struct {
 	ImportPath string
 	Name       string
 	GoFiles    []string
+	Error      *listError
+}
+
+// listError is go list's per-package error report (e.g. a directory with
+// no Go files named explicitly).
+type listError struct {
+	Err string
+}
+
+// Loader loads, parses and type-checks packages, caching every package —
+// target or dependency — so that repeated Load calls and the analyzers
+// sharing one run each pay for a package's type-check exactly once. A
+// Loader is not safe for concurrent use.
+type Loader struct {
+	fset *token.FileSet
+	std  types.Importer
+	// universe maps import path → go list metadata for every module-local
+	// package discovered so far.
+	universe map[string]*listPkg
+	// listed records directories whose ./... universe was already taken.
+	listed map[string]bool
+	// pkgs caches fully loaded packages by import path. A nil entry marks
+	// a package currently being checked (import cycles resolve to the
+	// stdlib importer's error instead of recursing forever).
+	pkgs map[string]*Package
+}
+
+// NewLoader returns an empty loader with a fresh FileSet.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:     fset,
+		std:      importer.ForCompiler(fset, "source", nil),
+		universe: map[string]*listPkg{},
+		listed:   map[string]bool{},
+		pkgs:     map[string]*Package{},
+	}
 }
 
 // Load discovers the packages matching patterns (e.g. "./...") with
-// `go list` run in dir, parses their non-test Go files and type-checks
-// them from source. Module-local imports resolve against the full module
-// (./... from dir); everything else falls back to the standard library's
-// source importer. Only the standard library is used.
+// `go list` run in dir, parses their Go files and type-checks them from
+// source. Module-local imports resolve against the full module (./...
+// from dir); everything else falls back to the standard library's source
+// importer. Only the standard library is used.
+//
+// Patterns that match no packages are an error: a vet run over nothing
+// must not pass as a clean run.
 func Load(dir string, patterns []string) ([]*Package, error) {
+	return NewLoader().Load(dir, patterns)
+}
+
+// Load implements the package-level Load on a caching loader: packages
+// already loaded by a previous call (as targets or as dependencies) are
+// returned without re-parsing or re-checking.
+func (l *Loader) Load(dir string, patterns []string) ([]*Package, error) {
 	targets, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
-	universe := map[string]*listPkg{}
-	if all, err := goList(dir, []string{"./..."}); err == nil {
-		for _, p := range all {
-			universe[p.ImportPath] = p
+	if !l.listed[dir] {
+		l.listed[dir] = true
+		if all, err := goList(dir, []string{"./..."}); err == nil {
+			for _, p := range all {
+				if _, ok := l.universe[p.ImportPath]; !ok {
+					l.universe[p.ImportPath] = p
+				}
+			}
 		}
 	}
 	for _, p := range targets {
-		universe[p.ImportPath] = p
-	}
-
-	fset := token.NewFileSet()
-	ld := &loader{
-		fset:     fset,
-		universe: universe,
-		checked:  map[string]*types.Package{},
-		std:      importer.ForCompiler(fset, "source", nil),
+		l.universe[p.ImportPath] = p
 	}
 
 	var pkgs []*Package
 	for _, lp := range targets {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", lp.ImportPath, lp.Error.Err)
+		}
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		files, err := parseFiles(fset, lp, parser.ParseComments)
+		pkg, err := l.load(lp.ImportPath)
 		if err != nil {
 			return nil, err
 		}
-		pkg := &Package{
-			Dir:        lp.Dir,
-			ImportPath: lp.ImportPath,
-			Name:       lp.Name,
-			Fset:       fset,
-			Files:      files,
-		}
-		pkg.TypesPkg, pkg.TypesInfo, pkg.TypeErrs = ld.check(lp.ImportPath, files)
 		pkgs = append(pkgs, pkg)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("no Go packages matched %v", patterns)
 	}
 	return pkgs, nil
 }
 
+// load parses and type-checks one module-local package (found in the
+// universe), memoizing the result.
+func (l *Loader) load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %s", importPath)
+		}
+		return pkg, nil
+	}
+	lp := l.universe[importPath]
+	if lp == nil {
+		return nil, fmt.Errorf("package %s not in load universe", importPath)
+	}
+	files, err := parseFiles(l.fset, lp, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = nil // cycle guard
+	pkg := &Package{
+		Dir:        lp.Dir,
+		ImportPath: lp.ImportPath,
+		Name:       lp.Name,
+		Fset:       l.fset,
+		Files:      files,
+	}
+	pkg.TypesPkg, pkg.TypesInfo, pkg.TypeErrs = l.check(lp.ImportPath, files)
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
 func goList(dir string, patterns []string) ([]*listPkg, error) {
-	args := append([]string{"list", "-json"}, patterns...)
+	args := append([]string{"list", "-e", "-json"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stderr bytes.Buffer
@@ -120,44 +191,34 @@ func parseFiles(fset *token.FileSet, lp *listPkg, mode parser.Mode) ([]*ast.File
 	return files, nil
 }
 
-// loader type-checks module packages from source, resolving module-local
-// imports itself and delegating the rest (the standard library) to the
-// stdlib source importer.
-type loader struct {
-	fset     *token.FileSet
-	universe map[string]*listPkg
-	checked  map[string]*types.Package
-	std      types.Importer
-}
-
-// Import implements types.Importer for module-local dependencies.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if pkg, ok := l.checked[path]; ok {
-		return pkg, nil
-	}
-	lp, ok := l.universe[path]
-	if !ok {
+// Import implements types.Importer for module-local dependencies: targets
+// and dependencies share one cache, so a package that is both is checked
+// once with full info rather than once per role.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.universe[path]; !ok {
 		return l.std.Import(path)
 	}
-	files, err := parseFiles(l.fset, lp, 0)
+	pkg, err := l.load(path)
 	if err != nil {
 		return nil, err
 	}
-	pkg, _, errs := l.check(path, files)
-	if pkg == nil {
-		return nil, fmt.Errorf("type-checking %s: %v", path, errs[0])
+	if pkg.TypesPkg == nil {
+		if len(pkg.TypeErrs) > 0 {
+			return nil, fmt.Errorf("type-checking %s: %v", path, pkg.TypeErrs[0])
+		}
+		return nil, fmt.Errorf("type-checking %s failed", path)
 	}
-	l.checked[path] = pkg
-	return pkg, nil
+	return pkg.TypesPkg, nil
 }
 
 // check type-checks one package, tolerating errors: it returns whatever
 // partial package and info go/types produced, plus the diagnostics.
-func (l *loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
+func (l *Loader) check(path string, files []*ast.File) (*types.Package, *types.Info, []error) {
 	info := &types.Info{
-		Types: map[ast.Expr]types.TypeAndValue{},
-		Defs:  map[*ast.Ident]types.Object{},
-		Uses:  map[*ast.Ident]types.Object{},
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
 	var errs []error
 	conf := types.Config{

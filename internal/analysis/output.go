@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// jsonFinding is the machine-readable diagnostic schema emitted by
+// coreda-vet -json, one object per finding. The schema is part of the CI
+// contract; extend it, don't rename fields.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Analyzer string   `json:"analyzer"`
+	Severity Severity `json:"severity"`
+	Message  string   `json:"message"`
+	Fix      *jsonFix `json:"fix,omitempty"`
+}
+
+type jsonFix struct {
+	Description string `json:"description"`
+	File        string `json:"file"`
+	StartLine   int    `json:"start_line"`
+	StartCol    int    `json:"start_col"`
+	EndLine     int    `json:"end_line"`
+	EndCol      int    `json:"end_col"`
+	NewText     string `json:"new_text"`
+}
+
+// WriteJSON renders findings as a single JSON document:
+// {"count": N, "findings": [...]}. An empty run emits an empty array,
+// not null, so `jq '.findings[]'` pipelines never see a type change.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := struct {
+		Count    int           `json:"count"`
+		Findings []jsonFinding `json:"findings"`
+	}{Count: len(findings), Findings: []jsonFinding{}}
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Severity: f.Severity,
+			Message:  f.Message,
+		}
+		if f.Fix != nil {
+			jf.Fix = &jsonFix{
+				Description: f.Fix.Description,
+				File:        f.Fix.Start.Filename,
+				StartLine:   f.Fix.Start.Line,
+				StartCol:    f.Fix.Start.Column,
+				EndLine:     f.Fix.End.Line,
+				EndCol:      f.Fix.End.Column,
+				NewText:     f.Fix.NewText,
+			}
+		}
+		out.Findings = append(out.Findings, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteDiff renders every finding that carries a Fix as a unified diff
+// against the current source, one hunk per fix with two lines of
+// context. Findings without fixes are skipped. The diff is a suggestion
+// for review, not auto-applied.
+func WriteDiff(w io.Writer, findings []Finding) error {
+	// Group fixes by file, preserving the position sort of findings.
+	byFile := map[string][]*Fix{}
+	var order []string
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		file := f.Fix.Start.Filename
+		if _, ok := byFile[file]; !ok {
+			order = append(order, file)
+		}
+		byFile[file] = append(byFile[file], f.Fix)
+	}
+	for _, file := range order {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("rendering fix diff: %v", err)
+		}
+		lines := strings.Split(string(src), "\n")
+		fmt.Fprintf(w, "--- a/%s\n+++ b/%s\n", file, file)
+		delta := 0
+		for _, fix := range byFile[file] {
+			delta += writeHunk(w, lines, fix, delta)
+		}
+	}
+	return nil
+}
+
+// writeHunk emits one unified-diff hunk for fix against the original
+// file lines (1-indexed positions) and returns the line-count delta the
+// fix introduces. delta is the cumulative shift from earlier hunks in
+// the same file, applied to the +side start line.
+func writeHunk(w io.Writer, lines []string, fix *Fix, delta int) int {
+	l1, l2 := fix.Start.Line, fix.End.Line
+	if l1 < 1 || l2 > len(lines) || l2 < l1 {
+		return 0
+	}
+	// Splice the replacement into the affected region.
+	prefix := lines[l1-1]
+	if fix.Start.Column-1 <= len(prefix) {
+		prefix = prefix[:fix.Start.Column-1]
+	}
+	suffix := lines[l2-1]
+	if fix.End.Column-1 <= len(suffix) {
+		suffix = suffix[fix.End.Column-1:]
+	}
+	region := prefix + fix.NewText + suffix
+	var newLines []string
+	if strings.TrimSpace(region) != "" || fix.NewText != "" {
+		newLines = strings.Split(region, "\n")
+	}
+	// else: the fix deleted everything meaningful on those lines (e.g. a
+	// whole-line directive comment); drop the now-blank lines entirely.
+
+	const ctx = 2
+	cStart := max(1, l1-ctx)
+	cEnd := min(len(lines), l2+ctx)
+	oldN := cEnd - cStart + 1
+	newN := oldN - (l2 - l1 + 1) + len(newLines)
+	fmt.Fprintf(w, "@@ -%d,%d +%d,%d @@ %s\n", cStart, oldN, cStart+delta, newN, fix.Description)
+	for i := cStart; i < l1; i++ {
+		fmt.Fprintf(w, " %s\n", lines[i-1])
+	}
+	for i := l1; i <= l2; i++ {
+		fmt.Fprintf(w, "-%s\n", lines[i-1])
+	}
+	for _, l := range newLines {
+		fmt.Fprintf(w, "+%s\n", l)
+	}
+	for i := l2 + 1; i <= cEnd; i++ {
+		fmt.Fprintf(w, " %s\n", lines[i-1])
+	}
+	return len(newLines) - (l2 - l1 + 1)
+}

@@ -2,6 +2,30 @@ package analysis
 
 import "testing"
 
+// TestSuiteComplete pins the v2 roster: a future analyzer must be added
+// to All (and the README table) or it silently never runs in make lint.
+func TestSuiteComplete(t *testing.T) {
+	t.Parallel()
+	want := []string{
+		"nondeterminism", "rewardconst", "schedonly", "droppederr",
+		"toolidmap", "shardaffinity", "lockheld", "hotalloc", "ignorecheck",
+	}
+	if len(All) != len(want) {
+		t.Fatalf("All has %d analyzers, want %d", len(All), len(want))
+	}
+	for i, name := range want {
+		if All[i].Name != name {
+			t.Errorf("All[%d] = %q, want %q", i, All[i].Name, name)
+		}
+		if ByName(name) != All[i] {
+			t.Errorf("ByName(%q) does not resolve to All[%d]", name, i)
+		}
+	}
+	if All[len(All)-1] != IgnoreCheck {
+		t.Error("ignorecheck must run last: it audits the other analyzers' suppressions")
+	}
+}
+
 // TestRepoIsVetClean dogfoods the whole suite on the repository itself:
 // the module must load, type-check and come back with zero findings —
 // the same gate cmd/coreda-vet enforces in `make lint`.

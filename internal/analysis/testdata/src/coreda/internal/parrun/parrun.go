@@ -1,0 +1,17 @@
+// Miniature coreda/internal/parrun for shardaffinity fixtures: the
+// analyzer matches the imported package path, so the worker-pool shape
+// is all that matters.
+package parrun
+
+// Map mirrors the real bounded-fanout signature.
+func Map[T any](n, workers int, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(i)
+		if err != nil {
+			return out, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,8 @@
+// Miniature coreda/internal/store for lockheld fixtures: every store
+// call is checkpoint file I/O and therefore blocking.
+package store
+
+// MultiSaver stands in for the checkpoint writer.
+type MultiSaver struct{}
+
+func (s *MultiSaver) Save() error { return nil }

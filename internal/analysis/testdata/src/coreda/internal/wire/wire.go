@@ -1,0 +1,18 @@
+// Miniature coreda/internal/wire for lockheld fixtures: the writer
+// method set the analyzer's blocking list names.
+package wire
+
+// Packet stands in for the wire packet interface.
+type Packet interface{ Type() byte }
+
+// Writer stands in for the batched frame writer.
+type Writer struct{}
+
+// QueuePacket is a pure in-memory append — not blocking.
+func (w *Writer) QueuePacket(p Packet) error { return nil }
+
+// Flush performs the socket write — blocking.
+func (w *Writer) Flush() error { return nil }
+
+// Release recycles the pooled buffer — not blocking.
+func (w *Writer) Release() {}

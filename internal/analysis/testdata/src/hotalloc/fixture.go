@@ -1,0 +1,41 @@
+// Fixture for the hotalloc analyzer. Unlike the other fixtures this
+// package is really compiled: the analyzer shells out to
+// go build -gcflags=-m=2 in the package directory and cross-references
+// the compiler's escape diagnostics with //coreda:hotpath annotations.
+package hotalloc
+
+import "fmt"
+
+var sink []byte
+
+// frame appends in place on the caller's buffer: nothing escapes.
+//
+//coreda:hotpath
+func frame(dst []byte, v byte) []byte {
+	return append(dst, v)
+}
+
+// leak parks a fresh buffer in a package-level sink, forcing the
+// allocation to outlive the frame.
+//
+//coreda:hotpath
+func leak(n int) {
+	b := make([]byte, n) // want `hot path leak: make\(\[\]byte, n\) escapes to heap`
+	sink = b
+}
+
+// boxed formats an error on the failure path; fmt.Errorf argument boxing
+// is sanctioned as cold even inside a hot path.
+//
+//coreda:hotpath
+func boxed(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad length %d", n)
+	}
+	return nil
+}
+
+// cold is not annotated, so its escapes are not findings.
+func cold(n int) {
+	sink = make([]byte, n)
+}

@@ -1,0 +1,41 @@
+// Fixture for the ignorecheck meta-analyzer, run with Nondeterminism as
+// the only substantive analyzer. Expectations for findings on directive
+// lines are embedded in the directive comment itself (the harness
+// extracts `want ...` from //coreda:vet-ignore comments too, since a
+// directive and a want comment cannot share a line any other way).
+package ignorecheck
+
+import "time"
+
+// used: the directive suppresses a real finding and is therefore healthy.
+func used() time.Time {
+	//coreda:vet-ignore nondeterminism fixture clock feeds the simulator
+	return time.Now()
+}
+
+// stale: nondeterminism ran, reported nothing on the next line, so the
+// directive only masks future regressions.
+func stale() int {
+	//coreda:vet-ignore nondeterminism excused a clock read that was since removed want `stale ignore directive: "nondeterminism" reports nothing here`
+	return 42
+}
+
+// unknown: the named analyzer does not exist.
+func unknown() int {
+	//coreda:vet-ignore nosuchcheck typo that should have been caught in review want `ignore directive names unknown analyzer "nosuchcheck"`
+	return 7
+}
+
+// notJudged: droppederr did not run in this pass, so the unused
+// directive cannot be proven stale and stays silent.
+func notJudged() int {
+	//coreda:vet-ignore droppederr store errors are re-checked by the caller
+	return 1
+}
+
+// allNotJudged: an "all" directive is judged only when the full suite
+// ran; with a partial run it stays silent.
+func allNotJudged() int {
+	//coreda:vet-ignore all file is mid-migration and exempt wholesale
+	return 2
+}

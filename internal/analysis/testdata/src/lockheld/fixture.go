@@ -1,0 +1,148 @@
+// Fixture for the lockheld analyzer, type-checked as
+// coreda/internal/rtbridge: mutexes must be released before blocking
+// operations. Imports resolve to the miniature net/wire/store packages
+// under testdata/src.
+package rtbridge
+
+import (
+	"sync"
+
+	"coreda/internal/store"
+	"coreda/internal/wire"
+	"net"
+)
+
+type conn struct {
+	mu sync.Mutex
+	wm sync.Mutex
+	c  *net.Conn
+	w  *wire.Writer
+	ch chan int
+}
+
+// flushLocked holds wm across the flush via the defer pattern the
+// analyzer exists to catch.
+func (nc *conn) flushLocked() error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	return nc.w.Flush() // want `nc\.wm held across blocking call wire\.Flush`
+}
+
+// queueLocked holds the lock across a pure in-memory append: fine.
+func (nc *conn) queueLocked(p wire.Packet) error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	return nc.w.QueuePacket(p)
+}
+
+// deadlineLocked: deadline setters are control-plane calls, not I/O.
+func (nc *conn) deadlineLocked() error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	return nc.c.SetWriteDeadline(1)
+}
+
+// writeUnlocked releases before the socket write: fine.
+func (nc *conn) writeUnlocked(b []byte) error {
+	nc.mu.Lock()
+	nc.mu.Unlock()
+	_, err := nc.c.Write(b)
+	return err
+}
+
+// writeLocked performs socket I/O inside an explicit lock region.
+func (nc *conn) writeLocked(b []byte) error {
+	nc.mu.Lock()
+	_, err := nc.c.Write(b) // want `nc\.mu held across blocking call net\.Write`
+	nc.mu.Unlock()
+	return err
+}
+
+// deferSpan: the deferred unlock keeps wm held to function end, so the
+// late write is still under the lock.
+func (nc *conn) deferSpan(b []byte) error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	n := len(b)
+	_ = n
+	_, err := nc.c.Write(b) // want `nc\.wm held across blocking call net\.Write`
+	return err
+}
+
+// sendLocked blocks on a channel send under the lock.
+func (nc *conn) sendLocked(v int) {
+	nc.mu.Lock()
+	nc.ch <- v // want `nc\.mu held across channel send`
+	nc.mu.Unlock()
+}
+
+// recvUnlocked receives after releasing: fine.
+func (nc *conn) recvUnlocked() int {
+	nc.mu.Lock()
+	nc.mu.Unlock()
+	return <-nc.ch
+}
+
+// selectLocked blocks in a select under the lock; the comm clauses are
+// part of the one select and are not double-reported.
+func (nc *conn) selectLocked() {
+	nc.mu.Lock()
+	select { // want `nc\.mu held across select`
+	case v := <-nc.ch:
+		_ = v
+	default:
+	}
+	nc.mu.Unlock()
+}
+
+// write wraps the socket write; the same-package fixpoint marks it
+// blocking, so wrapping does not evade the check.
+func (nc *conn) write(b []byte) error {
+	_, err := nc.c.Write(b)
+	return err
+}
+
+func (nc *conn) wrapped(b []byte) error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	return nc.write(b) // want `nc\.wm held across call to write, which blocks`
+}
+
+// saveLocked holds the lock into checkpoint file I/O.
+func (nc *conn) saveLocked(sv *store.MultiSaver) error {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return sv.Save() // want `nc\.mu held across blocking call store\.Save`
+}
+
+// closureOwnState: a returned literal runs on its own lock state, so its
+// body is not "under" the enclosing function's locks.
+func (nc *conn) closureOwnState() func() {
+	nc.mu.Lock()
+	defer nc.mu.Unlock()
+	return func() {
+		_, _ = nc.c.Read(make([]byte, 1))
+	}
+}
+
+// rlocked: RWMutex read locks count too.
+type guarded struct {
+	mu sync.RWMutex
+	c  *net.Conn
+}
+
+func (g *guarded) readLocked(b []byte) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	_, err := g.c.Read(b) // want `g\.mu held across blocking call net\.Read`
+	return err
+}
+
+// intentional holds are documented with a reasoned directive and stay
+// silent.
+func (nc *conn) intentional() error {
+	nc.wm.Lock()
+	defer nc.wm.Unlock()
+	//coreda:vet-ignore lockheld wm serializes whole frames onto the socket by design
+	return nc.w.Flush()
+}

@@ -1,0 +1,16 @@
+// Miniature net for lockheld fixtures: just enough surface for the
+// analyzer's package-path + method-name matching. The fixture importer
+// resolves testdata/src before the standard library, so fixtures
+// importing "net" get this package and type-check in milliseconds.
+package net
+
+// Conn stands in for net.Conn.
+type Conn struct{}
+
+func (c *Conn) Read(b []byte) (int, error)  { return 0, nil }
+func (c *Conn) Write(b []byte) (int, error) { return len(b), nil }
+func (c *Conn) Close() error                { return nil }
+
+// SetWriteDeadline is control-plane, not data-plane I/O: lockheld must
+// not treat it as blocking.
+func (c *Conn) SetWriteDeadline(t int64) error { return nil }

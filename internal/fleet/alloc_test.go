@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"coreda"
+	"coreda/internal/adl"
+	"coreda/internal/testutil"
+)
+
+// TestShardIngestAllocBudget locks the steady-state shard ingest path —
+// Deliver, tenant lookup, virtual-clock advance, Hub dispatch,
+// dirty-set tracking — to a small per-event allocation budget. The shard
+// loop runs on its own goroutine, so this measures a global
+// runtime.MemStats malloc delta across a burst of events rather than
+// testing.AllocsPerRun.
+func TestShardIngestAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets are enforced by the no-race pass (scripts/check.sh)")
+	}
+	cfg := testConfig(t.TempDir())
+	cfg.Shards = 1
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+
+	const households = 16
+	ids := make([]string, households)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("alloc-%03d", i)
+	}
+	tool := adl.TeaMaking().Steps[0].Tool
+	deliver := func(from, n int) {
+		for i := from; i < from+n; i++ {
+			ev := Event{
+				Household: ids[i%households],
+				At:        time.Duration(i) * time.Millisecond,
+				Kind:      EventUsage,
+				Usage:     coreda.UsageEvent{Tool: tool, Kind: coreda.UsageStarted},
+			}
+			if err := f.Deliver(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		f.Stats() // shard barrier: the loop has drained the burst
+	}
+
+	// Warm up: admissions, map growth and per-tenant buffers happen here.
+	for _, id := range ids {
+		if err := f.Deliver(Event{Household: id, Kind: EventAdvance}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Stats()
+	deliver(0, 2000)
+
+	const events = 4000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	deliver(2000, events)
+	runtime.ReadMemStats(&after)
+
+	perEvent := float64(after.Mallocs-before.Mallocs) / events
+	// The loop itself is allocation-free; the budget absorbs the handful
+	// of mallocs the runtime and Hub bookkeeping spend across the whole
+	// burst (timer wheel, map rehash straggler, Stats barrier).
+	const budget = 0.25
+	t.Logf("shard ingest: %.3f mallocs/event over %d events", perEvent, events)
+	if perEvent > budget {
+		t.Errorf("shard ingest allocates %.3f mallocs/event over %d events, budget %.2f", perEvent, events, budget)
+	}
+}

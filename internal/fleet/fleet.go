@@ -445,7 +445,10 @@ func (s *shard) dispatch(m msg) {
 	s.handle(m.ev)
 }
 
-// handle processes one event on the loop goroutine.
+// handle processes one event on the loop goroutine — the shard ingest
+// path every delivered event funnels through.
+//
+//coreda:hotpath
 func (s *shard) handle(ev Event) {
 	t := s.lastT
 	if t == nil || s.lastID != ev.Household {

@@ -87,6 +87,7 @@ func (nc *fleetConn) write(p wire.Packet) error {
 	if nc.timeout > 0 {
 		nc.c.SetWriteDeadline(time.Now().Add(nc.timeout)) //coreda:vet-ignore nondeterminism serving-layer socket deadline is wall-clock by nature
 	}
+	//coreda:vet-ignore lockheld wm exists to serialize whole frames onto the socket; holding it across the flush is the point
 	return nc.w.Flush()
 }
 

@@ -1,0 +1,54 @@
+package rtbridge
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"coreda/internal/testutil"
+)
+
+// discardConn is a net.Conn that swallows writes and never delivers
+// reads, so client alloc tests measure only the report path.
+type discardConn struct{ net.Conn }
+
+func (discardConn) Write(b []byte) (int, error)      { return len(b), nil }
+func (discardConn) Close() error                     { return nil }
+func (discardConn) SetReadDeadline(time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(time.Time) error { return nil }
+
+// TestNodeReportZeroAlloc locks the client's steady reporting path at
+// zero allocations per frame: the packet literal stays on the stack and
+// AppendFrame reuses the wm-guarded scratch buffer. The client is built
+// without its reader loop so only the write path is on the profile.
+func TestNodeReportZeroAlloc(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets are enforced by the no-race pass (scripts/check.sh)")
+	}
+	n := &NodeClient{uid: 21, conn: discardConn{}, doneCh: make(chan struct{})}
+	// Warm up so the frame scratch is grown outside the measurement.
+	if err := n.UseStart(time.Second, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		send func() error
+	}{
+		{"UseStart", func() error { return n.UseStart(2*time.Second, 3) }},
+		{"UseEnd", func() error { return n.UseEnd(3*time.Second, time.Second) }},
+		{"Heartbeat", func() error { return n.Heartbeat(time.Minute) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			if a := testing.AllocsPerRun(200, func() {
+				if err := tc.send(); err != nil {
+					t.Fatal(err)
+				}
+			}); a != 0 {
+				t.Errorf("%s: %.1f allocs/op, want 0", tc.name, a)
+			}
+		})
+	}
+}

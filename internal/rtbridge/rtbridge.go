@@ -129,6 +129,7 @@ func (nc *nodeConn) flush() error {
 	if nc.timeout > 0 {
 		nc.c.SetWriteDeadline(time.Now().Add(nc.timeout))
 	}
+	//coreda:vet-ignore lockheld wm exists to serialize whole frames onto the socket; holding it across the flush is the point
 	return nc.w.Flush()
 }
 

@@ -103,6 +103,7 @@ type Subsystem struct {
 	lastUsageAt time.Duration // last real tool usage; idle events excluded
 	expected    adl.ToolID
 	idleTimer   *sim.Event
+	idleFire    func() // shared idle-timeout callback, built once in New
 	running     bool
 
 	// Stats accumulates counters.
@@ -114,13 +115,22 @@ func New(cfg Config, sched *sim.Scheduler, handler func(StepEvent)) (*Subsystem,
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	return &Subsystem{
+	s := &Subsystem{
 		cfg:       cfg,
 		sched:     sched,
 		handler:   handler,
 		durations: stats.NewDurations(),
 		gaps:      stats.NewDurations(),
-	}, nil
+	}
+	s.idleFire = func() {
+		if !s.running {
+			return
+		}
+		// "We also define a StepID 0 to indicate nothing is done for a
+		// long time."
+		s.emit(StepEvent{Step: adl.StepIdle, At: s.sched.Now(), Idle: true})
+	}
+	return s, nil
 }
 
 // Start begins a monitoring session: history is cleared and the idle
@@ -225,17 +235,14 @@ func (s *Subsystem) emit(ev StepEvent) {
 	s.armIdle()
 }
 
+// armIdle (re)arms the idle watchdog. Every usage event lands here, so
+// the steady-state path reschedules the pending timer in place — no
+// Event or closure allocation — and only a fired (or never-armed) timer
+// pays for a fresh schedule.
 func (s *Subsystem) armIdle() {
-	if s.idleTimer != nil {
-		s.idleTimer.Cancel()
-	}
 	timeout := s.IdleTimeout()
-	s.idleTimer = s.sched.After(timeout, func() {
-		if !s.running {
-			return
-		}
-		// "We also define a StepID 0 to indicate nothing is done for a
-		// long time."
-		s.emit(StepEvent{Step: adl.StepIdle, At: s.sched.Now(), Idle: true})
-	})
+	if s.sched.Reschedule(s.idleTimer, s.sched.Now()+timeout) {
+		return
+	}
+	s.idleTimer = s.sched.After(timeout, s.idleFire)
 }

@@ -70,6 +70,26 @@ func (s *Scheduler) After(d time.Duration, fn func()) *Event {
 	return s.At(s.now+d, fn)
 }
 
+// Reschedule moves a still-pending event to virtual time t (clamped to
+// now), keeping its callback — the zero-allocation way to re-arm a
+// timer. The event takes a fresh sequence number, so same-time ordering
+// is exactly as if it had been cancelled and scheduled anew. A fired or
+// cancelled event cannot be revived: Reschedule returns false and the
+// caller schedules a replacement with At/After.
+func (s *Scheduler) Reschedule(e *Event, t time.Duration) bool {
+	if e == nil || e.index < 0 || e.cancelled {
+		return false
+	}
+	if t < s.now {
+		t = s.now
+	}
+	e.at = t
+	e.seq = s.seq
+	s.seq++
+	heap.Fix(&s.heap, e.index)
+	return true
+}
+
 // Every schedules fn to run every interval, starting one interval from
 // now, until the returned stop function is called.
 func (s *Scheduler) Every(interval time.Duration, fn func()) (stop func()) {

@@ -59,6 +59,49 @@ func TestNegativeAfterClampsToNow(t *testing.T) {
 	}
 }
 
+func TestReschedule(t *testing.T) {
+	s := New()
+	var fired []string
+	e := s.After(time.Second, func() { fired = append(fired, "moved") })
+	s.After(2*time.Second, func() { fired = append(fired, "fixed") })
+	if !s.Reschedule(e, 3*time.Second) {
+		t.Fatal("rescheduling a pending event returned false")
+	}
+	s.Run()
+	// The moved timer fires after the 2s event, not at its original 1s.
+	if want := []string{"fixed", "moved"}; len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("firing order = %v, want %v", fired, want)
+	}
+	// Fired and cancelled events cannot be revived.
+	if s.Reschedule(e, 4*time.Second) {
+		t.Error("rescheduling a fired event returned true")
+	}
+	c := s.After(time.Second, func() { t.Error("cancelled event fired") })
+	c.Cancel()
+	if s.Reschedule(c, 2*time.Second) {
+		t.Error("rescheduling a cancelled event returned true")
+	}
+	if s.Reschedule(nil, time.Second) {
+		t.Error("rescheduling nil returned true")
+	}
+	s.Run()
+}
+
+// TestRescheduleTieOrder pins that a rescheduled event takes a fresh
+// sequence number: landing on another event's time, it fires after it —
+// exactly as a cancel + fresh After would.
+func TestRescheduleTieOrder(t *testing.T) {
+	s := New()
+	var fired []string
+	e := s.After(time.Second, func() { fired = append(fired, "moved") })
+	s.After(2*time.Second, func() { fired = append(fired, "resident") })
+	s.Reschedule(e, 2*time.Second)
+	s.Run()
+	if want := []string{"resident", "moved"}; len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Errorf("firing order = %v, want %v", fired, want)
+	}
+}
+
 func TestSchedulingInPastPanics(t *testing.T) {
 	s := New()
 	s.At(time.Second, func() {

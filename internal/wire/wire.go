@@ -343,6 +343,8 @@ const MaxFrame = 6 + MaxPayload
 // allocation-free core of the codec: with enough capacity in dst it never
 // touches the heap. On error dst is returned truncated to its original
 // length.
+//
+//coreda:hotpath
 func AppendFrame(dst []byte, p Packet) ([]byte, error) {
 	start := len(dst)
 	dst = append(dst, Magic, Version, byte(p.Type()), 0)
@@ -432,6 +434,8 @@ func (f *Frame) detach() Packet {
 
 // DecodeInto parses one complete frame produced by Encode/AppendFrame
 // into f, reusing f's storage instead of allocating a packet.
+//
+//coreda:hotpath
 func DecodeInto(f *Frame, frame []byte) error {
 	if len(frame) < 6 {
 		return ErrShortFrame
@@ -530,6 +534,8 @@ func (w *Writer) WritePacket(p Packet) error {
 // QueuePacket encodes one packet into the pending buffer without writing
 // to the underlying stream. A failed encode leaves the pending buffer
 // unchanged.
+//
+//coreda:hotpath
 func (w *Writer) QueuePacket(p Packet) error {
 	if w.buf == nil {
 		w.buf = bufPool.Get().(*[]byte)
@@ -601,6 +607,8 @@ func (r *Reader) ReadPacket() (Packet, error) {
 // until a frame parses — the allocation-free read path (Hello excepted
 // for its household string). It returns the underlying stream error
 // (e.g. io.EOF) when the stream ends.
+//
+//coreda:hotpath
 func (r *Reader) ReadFrame(f *Frame) error {
 	for {
 		// Hunt for the magic byte.

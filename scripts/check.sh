@@ -16,8 +16,11 @@ fi
 echo "== go vet"
 go vet ./...
 
+# hotalloc is excluded here and run in the no-race phase below: it
+# shells out to `go build -gcflags=-m=2`, and escape analysis must be
+# judged on the same build mode the alloc budgets run under.
 echo "== coreda-vet"
-go run ./cmd/coreda-vet ./...
+go run ./cmd/coreda-vet -skip hotalloc ./...
 
 echo "== go build"
 go build ./...
@@ -27,9 +30,14 @@ go test -race ./...
 
 # The zero-allocation budgets on the serving path skip themselves under
 # the race detector (its instrumentation allocates), so they are
-# enforced by an explicit no-race pass over the serving packages.
+# enforced by an explicit no-race pass over the serving packages:
+# the wire codec, the shard ingest loop, and the node client's report
+# path. The hotalloc analyzer rides in the same phase — it names the
+# escaping expression when a //coreda:hotpath function regresses, which
+# an AllocsPerRun count never does.
 echo "== alloc budgets (no race)"
-go test -run 'Alloc' ./internal/wire/
+go test -run 'Alloc' ./internal/wire/ ./internal/fleet/ ./internal/rtbridge/
+go run ./cmd/coreda-vet -only hotalloc ./...
 
 echo "== chaos soak (workers 1 vs 4 must match)"
 go run ./cmd/coreda-bench -workers 1 chaos > /tmp/coreda-soak-w1.txt
