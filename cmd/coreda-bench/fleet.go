@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"coreda/internal/fleet"
+	"coreda/internal/store"
 )
 
 // fleetBenchResult is the machine-readable record written by -fleet-json:
@@ -15,11 +16,18 @@ import (
 // particular run (which, unlike everything printed to stdout, legitimately
 // varies with shard count and machine load).
 type fleetBenchResult struct {
-	Seed            int64   `json:"seed"`
-	Households      int     `json:"households"`
-	Sessions        int     `json:"sessions"`
-	Shards          int     `json:"shards"`
-	Workers         int     `json:"workers"`
+	Seed       int64 `json:"seed"`
+	Households int   `json:"households"`
+	Sessions   int   `json:"sessions"`
+	Shards     int   `json:"shards"`
+	Workers    int   `json:"workers"`
+	// Cpus is GOMAXPROCS at run time — the parallelism this row actually
+	// ran with (the bench matrix sets it via the environment, so it may
+	// exceed HostCPUs on small hosts). HostCPUs is the machine's logical
+	// CPU count, recorded so a row can't overstate its hardware.
+	Cpus            int     `json:"cpus"`
+	HostCPUs        int     `json:"host_cpus"`
+	StoreFormat     string  `json:"store_format"`
 	Events          int     `json:"events"`
 	Admissions      int     `json:"admissions"`
 	Recovered       int     `json:"recovered"`
@@ -36,7 +44,11 @@ type fleetBenchResult struct {
 // sessions) — the shard count is deliberately omitted, so scripts/check.sh
 // can diff runs at different -fleet-shards as the shard-count parity gate.
 // Wall-clock throughput goes only to -fleet-json.
-func runFleetBench(seed int64, households, shards, sessions, workers int, jsonPath string) error {
+func runFleetBench(seed int64, households, shards, sessions, workers int, storeFormat, jsonPath string) error {
+	format, err := store.ParseFormat(storeFormat)
+	if err != nil {
+		return err
+	}
 	dir, err := os.MkdirTemp("", "coreda-fleet-bench-")
 	if err != nil {
 		return err
@@ -50,6 +62,7 @@ func runFleetBench(seed int64, households, shards, sessions, workers int, jsonPa
 		Sessions:   sessions,
 		Shards:     shards,
 		Dir:        dir,
+		Format:     format,
 		Workers:    workers,
 	})
 	if err != nil {
@@ -75,6 +88,9 @@ func runFleetBench(seed int64, households, shards, sessions, workers int, jsonPa
 		Sessions:     sessions,
 		Shards:       res.Shards,
 		Workers:      workers,
+		Cpus:         runtime.GOMAXPROCS(0),
+		HostCPUs:     runtime.NumCPU(),
+		StoreFormat:  format.String(),
 		Events:       res.Events,
 		Admissions:   st.Admissions,
 		Recovered:    st.Recovered,

@@ -33,6 +33,7 @@ func main() {
 	fleetShards := flag.Int("fleet-shards", 0, "fleet shard count (0 = GOMAXPROCS; stdout is identical at any value)")
 	fleetSessions := flag.Int("fleet-sessions", 4, "sessions per household for the fleet workload")
 	fleetJSON := flag.String("fleet-json", "", "write fleet throughput (events/sec, households/shard) to this JSON file")
+	storeFormat := flag.String("store-format", "binary", "fleet checkpoint encoding: binary or json (stdout is identical at either)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
@@ -169,7 +170,7 @@ func main() {
 		return nil
 	})
 	run("fleet", func() error {
-		return runFleetBench(*seed, *households, *fleetShards, *fleetSessions, *workers, *fleetJSON)
+		return runFleetBench(*seed, *households, *fleetShards, *fleetSessions, *workers, *storeFormat, *fleetJSON)
 	})
 	run("sweeps", func() error {
 		noise, err := experiments.RunNoiseSweep(*seed, 25, *workers)

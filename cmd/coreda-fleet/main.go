@@ -7,13 +7,15 @@
 // Usage:
 //
 //	coreda-fleet [-addr :7100] [-shards N] [-dir fleet-policies]
+//	             [-store-format binary|json]
 //	             [-activity tea-making] [-mode learn|assist] [-speed 1]
 //	             [-checkpoint 30s] [-evict 30m] [-default-household home]
 //	             [-seed 1] [-keep-learning]
 //	             [-read-timeout 2m] [-write-timeout 10s]
 //
 // Households are admitted lazily on their first event, recovering their
-// learned policy from <dir>/<household>.json when one exists; idle
+// learned policy from <dir>/<household>.ckpt when one exists (legacy
+// .json checkpoints load transparently and are upgraded in place); idle
 // households are checkpointed and evicted after -evict of virtual
 // inactivity, and every dirty household is batch-checkpointed each
 // -checkpoint of wall time. Nodes that never send a hello are served as
@@ -34,6 +36,7 @@ import (
 
 	"coreda"
 	"coreda/internal/fleet"
+	"coreda/internal/store"
 )
 
 // options collects the command-line configuration.
@@ -41,6 +44,7 @@ type options struct {
 	addr             string
 	shards           int
 	dir              string
+	storeFormat      string
 	activityName     string
 	activityFile     string
 	mode             string
@@ -59,6 +63,7 @@ func main() {
 	flag.StringVar(&o.addr, "addr", ":7100", "listen address")
 	flag.IntVar(&o.shards, "shards", 0, "shard event loops households are hashed across (0 = GOMAXPROCS)")
 	flag.StringVar(&o.dir, "dir", "fleet-policies", "checkpoint directory (one policy file per household)")
+	flag.StringVar(&o.storeFormat, "store-format", "binary", "checkpoint encoding: binary or json (loads sniff either)")
 	flag.StringVar(&o.activityName, "activity", "tea-making", "activity every household is instrumented for")
 	flag.StringVar(&o.activityFile, "activity-file", "", "JSON activity declaration overriding -activity")
 	flag.StringVar(&o.mode, "mode", "learn", "session mode: learn or assist")
@@ -103,10 +108,16 @@ func run(o options) error {
 		return fmt.Errorf("unknown mode %q", o.mode)
 	}
 
+	format, err := store.ParseFormat(o.storeFormat)
+	if err != nil {
+		return err
+	}
+
 	out := &console{}
 	f, err := fleet.New(fleet.Config{
 		Shards:    o.shards,
 		Dir:       o.dir,
+		Format:    format,
 		IdleEvict: o.evict,
 		OnLog:     func(msg string) { out.printf("%s\n", msg) },
 		NewSystem: func(household string) (coreda.SystemConfig, error) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -145,7 +146,7 @@ func TestFleetServesAndCheckpointsHouseholds(t *testing.T) {
 	awaitOutput(t, out, "fleet stopped")
 
 	for _, hh := range []string{"tanaka-42", "suzuki-7"} {
-		f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, hh+".json"))
+		f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, hh+".ckpt"))
 		if err != nil {
 			t.Fatalf("household %s checkpoint: %v", hh, err)
 		}
@@ -168,12 +169,134 @@ func TestFleetServesAndCheckpointsHouseholds(t *testing.T) {
 	if err := cmd2.Wait(); err != nil {
 		t.Fatalf("restarted fleet exited uncleanly: %v\n%s", err, out2.String())
 	}
-	f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "tanaka-42.json"))
+	f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "tanaka-42.ckpt"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.Policies[0].Episodes < 2 {
 		t.Errorf("resumed household has %d episodes, want >= 2", f.Policies[0].Episodes)
+	}
+}
+
+// TestFleetMigratesLegacyJSONCheckpoint pins the upgrade story end to
+// end: a checkpoint directory left behind by a pre-binary fleet (bare
+// <household>.json files) is recovered from on the first event, and the
+// next checkpoint transparently rewrites it in the current era — .ckpt
+// appears, .json disappears, learning continues where it left off.
+func TestFleetMigratesLegacyJSONCheckpoint(t *testing.T) {
+	bin := buildFleet(t)
+	dir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0", "-speed", "200", "-shards", "2",
+		"-dir", dir, "-checkpoint", "-1s",
+	}
+
+	// First run produces a learned checkpoint the normal way...
+	cmd, out := startFleetProc(t, bin, args...)
+	driveSession(t, awaitAddr(t, out), "ito-3")
+	awaitOutput(t, out, `activity "tea-making" completed`)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("fleet exited uncleanly: %v\n%s", err, out.String())
+	}
+
+	// ...which we rewrite as the legacy layout: JSON bytes in a bare
+	// .json file, no current-era blobs at all.
+	ckpt := filepath.Join(dir, "ito-3.ckpt")
+	f, routines, tables, err := store.LoadMultiPolicy(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	episodes := f.Policies[0].Episodes
+	states := make([]store.TrainState, len(f.Policies))
+	for i, p := range f.Policies {
+		states[i] = store.TrainState{Episodes: p.Episodes, Epsilon: p.Epsilon}
+	}
+	sv := store.MultiSaver{Format: store.FormatJSON}
+	if err := sv.SavePath(filepath.Join(dir, "ito-3.json"), f.User, f.Activity,
+		store.EncodeRoutines(routines), tables, states, true); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{ckpt, ckpt + store.BackupSuffix} {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+
+	// The restarted fleet admits from the legacy file and upgrades it.
+	cmd2, out2 := startFleetProc(t, bin, args...)
+	driveSession(t, awaitAddr(t, out2), "ito-3")
+	awaitOutput(t, out2, "admitted ito-3 from checkpoint")
+	awaitOutput(t, out2, `activity "tea-making" completed`)
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("restarted fleet exited uncleanly: %v\n%s", err, out2.String())
+	}
+
+	f2, _, _, err := store.LoadMultiPolicy(ckpt)
+	if err != nil {
+		t.Fatalf("no current-era checkpoint after migration: %v", err)
+	}
+	if f2.Policies[0].Episodes <= episodes {
+		t.Errorf("episodes after migration = %d, want > %d (learning must have resumed)", f2.Policies[0].Episodes, episodes)
+	}
+	for _, stale := range []string{"ito-3.json", "ito-3.json" + store.BackupSuffix} {
+		if _, err := os.Stat(filepath.Join(dir, stale)); !os.IsNotExist(err) {
+			t.Errorf("legacy file %s survived migration", stale)
+		}
+	}
+}
+
+// TestFleetRecoversAfterSIGKILLDuringCheckpointChurn is the chaos leg of
+// the binary-checkpoint acceptance: a fleet checkpointing at a very
+// short interval is killed with SIGKILL (no shutdown flush, whatever
+// write was in flight torn where it stood) and the restarted fleet must
+// still admit the household from a usable checkpoint — the store's
+// rotation plus the CKPT checksum guarantee some complete generation
+// survives.
+func TestFleetRecoversAfterSIGKILLDuringCheckpointChurn(t *testing.T) {
+	bin := buildFleet(t)
+	dir := t.TempDir()
+	args := []string{
+		"-addr", "127.0.0.1:0", "-speed", "200", "-shards", "2",
+		"-dir", dir, "-checkpoint", "10ms",
+	}
+
+	cmd, out := startFleetProc(t, bin, args...)
+	addr := awaitAddr(t, out)
+	driveSession(t, addr, "kill-9")
+	awaitOutput(t, out, `activity "tea-making" completed`)
+	// Keep the tenant dirty so checkpoint waves keep rewriting its blob,
+	// then kill without warning mid-churn.
+	driveSession(t, addr, "kill-9")
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Whatever the kill left behind — stray temp, rotated-but-unrenamed
+	// generation, torn primary — the load path must produce a complete
+	// checkpoint.
+	f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "kill-9.ckpt"))
+	if err != nil {
+		t.Fatalf("checkpoint unusable after SIGKILL: %v", err)
+	}
+	if f.User != "kill-9" || f.Policies[0].Episodes < 1 {
+		t.Errorf("recovered checkpoint = %+v, want at least one learned episode", f)
+	}
+
+	cmd2, out2 := startFleetProc(t, bin, args...)
+	driveSession(t, awaitAddr(t, out2), "kill-9")
+	awaitOutput(t, out2, "admitted kill-9 from checkpoint")
+	if err := cmd2.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd2.Wait(); err != nil {
+		t.Fatalf("restarted fleet exited uncleanly: %v\n%s", err, out2.String())
 	}
 }
 
@@ -203,7 +326,7 @@ func TestFleetDefaultHousehold(t *testing.T) {
 	if err := cmd.Wait(); err != nil {
 		t.Fatalf("fleet exited uncleanly: %v\n%s", err, out.String())
 	}
-	if _, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "legacy.json")); err != nil {
+	if _, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, "legacy.ckpt")); err != nil {
 		t.Errorf("default household checkpoint: %v", err)
 	}
 }

@@ -10,8 +10,9 @@ import (
 )
 
 // LockHeld flags mutexes held across blocking operations on the serve
-// paths (internal/fleet, internal/rtbridge): I/O calls, channel
-// operations, selects, and calls into the store/wire writers. A lock
+// and checkpoint paths (internal/fleet, internal/rtbridge,
+// internal/store): I/O calls, channel operations, selects, and calls
+// into the store/wire writers. A lock
 // held across a socket write couples every goroutine contending for it
 // to the slowest peer's TCP window — the serve-path latency and deadlock
 // class PR 4's supervision exists to survive, cheaper to reject here.
@@ -39,8 +40,11 @@ var LockHeld = &Analyzer{
 	Run:        runLockHeld,
 }
 
-// lockScoped is where serve-path lock discipline applies.
-var lockScoped = []string{"coreda/internal/fleet", "coreda/internal/rtbridge"}
+// lockScoped is where serve-path lock discipline applies. The store is
+// in scope because its backends sit directly on the fleet's checkpoint
+// hot path: a backend mutex held across a file syscall would serialize
+// every shard's eviction writebacks behind the disk.
+var lockScoped = []string{"coreda/internal/fleet", "coreda/internal/rtbridge", "coreda/internal/store"}
 
 // lockBlockingNames maps package path → function/method names treated as
 // blocking. Deadline setters and Close are deliberately absent: they are
@@ -333,7 +337,10 @@ func blockingDesc(pass *Pass, n ast.Node, blocking map[*types.Func]bool) string 
 			return fmt.Sprintf("blocking call %s.%s", pkgBase(path), name)
 		}
 		for _, p := range lockBlockingPkgs {
-			if path == p {
+			// Within a blanket-blocking package itself, the same-package
+			// fixpoint decides which functions actually block — treating
+			// every internal helper call as I/O would flag pure code.
+			if path == p && path != pass.ImportPath {
 				return fmt.Sprintf("blocking call %s.%s", pkgBase(path), name)
 			}
 		}

@@ -1,0 +1,58 @@
+// Fixture for the lockheld analyzer, type-checked as
+// coreda/internal/store: backend mutexes must be released before file
+// syscalls. Inside the store itself the blanket "all of store blocks"
+// rule is off — the same-package fixpoint decides — so pure helper
+// calls under a lock stay clean while transitively-blocking ones are
+// still caught.
+package store
+
+import (
+	"os"
+	"sync"
+)
+
+type backend struct {
+	mu     sync.Mutex
+	legacy map[string]bool
+}
+
+// removeLocked holds the backend mutex across an unlink syscall: the
+// exact pattern that would serialize every shard's eviction writebacks
+// behind the disk.
+func (b *backend) removeLocked(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return os.Remove(path) // want `b\.mu held across blocking call os\.Remove`
+}
+
+// flagThenIO reads the guarded flag under the lock and does the I/O
+// after releasing it: the sanctioned DirBackend pattern.
+func (b *backend) flagThenIO(name, path string) error {
+	b.mu.Lock()
+	stale := b.legacy[name]
+	b.mu.Unlock()
+	if stale {
+		return os.Remove(path)
+	}
+	return nil
+}
+
+// pathOf is a pure same-package helper: calling it under the lock must
+// not trip the blanket store-is-blocking rule.
+func pathOf(name string) string { return name + ".ckpt" }
+
+func (b *backend) helperLocked(name string) string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return pathOf(name)
+}
+
+// unlink blocks transitively; the fixpoint marks it and the call under
+// the lock is still flagged.
+func unlink(path string) error { return os.Remove(path) }
+
+func (b *backend) indirectLocked(path string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return unlink(path) // want `b\.mu held across call to unlink, which blocks`
+}

@@ -13,11 +13,13 @@
 // signature determinism guarantee, gated in scripts/check.sh).
 //
 // Tenants are admitted lazily: the first event for an unknown household
-// builds its stack and, if a checkpoint file exists in Config.Dir,
-// restores the learned policy from it (crash recovery and idle-eviction
-// recovery share this path). Idle tenants are evicted with a final
-// checkpoint; periodic batch checkpointing flushes every dirty tenant of
-// a shard through the store's crash-safe rotation.
+// builds its stack and, if a checkpoint blob exists in the storage
+// backend (store.Backend; the local-dir backend over Config.Dir by
+// default), restores the learned policy from it (crash recovery and
+// idle-eviction recovery share this path). Idle tenants are evicted with
+// a final checkpoint; periodic batch checkpointing streams every dirty
+// tenant of a shard through the backend's atomic, generation-rotating
+// writes.
 //
 // Like parrun for the experiments layer, fleet is a sanctioned
 // concurrency boundary of the otherwise single-threaded simulation
@@ -27,10 +29,8 @@ package fleet
 
 import (
 	"fmt"
-	"os"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,8 +48,17 @@ type Config struct {
 	// households are hashed across. Zero means runtime.GOMAXPROCS(0).
 	Shards int
 	// Dir is the checkpoint directory: each household persists to
-	// <Dir>/<household>.json via the store's crash-safe rotation.
+	// <Dir>/<household>.ckpt via the store's crash-safe rotation
+	// (pre-binary <household>.json checkpoints load and migrate
+	// transparently). Ignored when Backend is set.
 	Dir string
+	// Backend overrides where checkpoints live. Nil means the local-dir
+	// backend rooted at Dir.
+	Backend store.Backend
+	// Format selects the encoding of written checkpoints; the zero
+	// value is the binary CKPT format. Loads sniff the blob content, so
+	// the flag never affects what can be read.
+	Format store.Format
 	// NewSystem builds the system configuration for a household admitted
 	// for the first time (or re-admitted after eviction). Required. The
 	// returned config's Seed should be derived from the household ID
@@ -148,8 +157,9 @@ const (
 // Fleet is the sharded household runtime. Build with New, call Start,
 // route traffic with Deliver, and Stop to drain and checkpoint.
 type Fleet struct {
-	cfg    Config
-	shards []*shard
+	cfg     Config
+	backend store.Backend
+	shards  []*shard
 
 	// state is the lifecycle flag, atomic so the per-event Deliver fast
 	// path does not serialize every caller through a mutex.
@@ -231,18 +241,22 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
-	if cfg.Dir == "" {
-		return nil, fmt.Errorf("fleet: Config.Dir is required")
-	}
 	if cfg.NewSystem == nil {
 		return nil, fmt.Errorf("fleet: Config.NewSystem is required")
 	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("fleet: creating checkpoint dir: %w", err)
+	if cfg.Backend == nil {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("fleet: Config.Dir or Config.Backend is required")
+		}
+		b, err := store.NewDirBackend(cfg.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		cfg.Backend = b
 	}
-	f := &Fleet{cfg: cfg}
+	f := &Fleet{cfg: cfg, backend: cfg.Backend}
 	for i := 0; i < cfg.Shards; i++ {
-		f.shards = append(f.shards, &shard{
+		s := &shard{
 			f:       f,
 			idx:     i,
 			in:      make(chan msg, 256),
@@ -250,25 +264,21 @@ func New(cfg Config) (*Fleet, error) {
 			tenants: make(map[string]*Tenant),
 			dirty:   make(map[string]*Tenant),
 			known:   make(map[string]bool),
-		})
+		}
+		s.saver.Format = cfg.Format
+		f.shards = append(f.shards, s)
 	}
-	// One directory listing seeds every shard's known-checkpoint set, so
-	// admissions never probe the filesystem for households that have
-	// never been persisted.
-	entries, err := os.ReadDir(cfg.Dir)
+	// One backend enumeration seeds every shard's known-checkpoint set,
+	// so admissions never probe the store for households that have never
+	// been persisted.
+	err := f.backend.Enumerate(func(name string) {
+		if !ValidHousehold(name) {
+			return
+		}
+		f.shards[ShardOf(name, len(f.shards))].known[name] = true
+	})
 	if err != nil {
-		return nil, fmt.Errorf("fleet: listing checkpoint dir: %w", err)
-	}
-	for _, e := range entries {
-		if e.IsDir() {
-			continue
-		}
-		name := strings.TrimSuffix(e.Name(), ".1")
-		household, ok := strings.CutSuffix(name, ".json")
-		if !ok || !ValidHousehold(household) {
-			continue
-		}
-		f.shards[ShardOf(household, len(f.shards))].known[household] = true
+		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	return f, nil
 }
@@ -506,7 +516,7 @@ func (s *shard) admit(household string) (*Tenant, error) {
 	if cfg.LEDs == nil && s.f.cfg.LEDs != nil {
 		cfg.LEDs = s.f.cfg.LEDs(household)
 	}
-	t, recovered, err := newTenant(household, cfg, s.f.policyPath(household), s.known[household])
+	t, recovered, err := newTenant(household, cfg, s.f.backend, s.known[household])
 	if err != nil {
 		return nil, err
 	}
@@ -574,7 +584,7 @@ func (s *shard) drainEvictions(fsync bool) {
 		//coreda:vet-ignore droppederr per-write errors are the results; the worker never returns an outer error
 		errs, _ := parrun.Map(len(s.evictq), len(s.psavers), func(i int) (error, error) {
 			sv := <-free
-			err := s.evictq[i].save(sv, fsync)
+			err := s.evictq[i].save(s.f.backend, sv, fsync)
 			free <- sv
 			return err, nil
 		})
@@ -583,7 +593,7 @@ func (s *shard) drainEvictions(fsync bool) {
 		}
 	} else {
 		for _, t := range s.evictq {
-			s.finishEvict(t, t.save(&s.saver, fsync))
+			s.finishEvict(t, t.save(s.f.backend, &s.saver, fsync))
 		}
 	}
 	for i := range s.evictq {
@@ -619,7 +629,7 @@ func (s *shard) writebackEvicted(household string) *Tenant {
 			continue
 		}
 		s.evictq = append(s.evictq[:i], s.evictq[i+1:]...)
-		s.finishEvict(t, t.save(&s.saver, false))
+		s.finishEvict(t, t.save(s.f.backend, &s.saver, false))
 		if rt, ok := s.tenants[household]; ok {
 			return rt
 		}
@@ -684,7 +694,7 @@ func (s *shard) flushParallel(fsync bool) {
 	//coreda:vet-ignore droppederr per-write errors are the results; the worker never returns an outer error
 	errs, _ := parrun.Map(len(s.flushIDs), len(s.psavers), func(i int) (error, error) {
 		sv := <-free
-		err := s.dirty[s.flushIDs[i]].save(sv, fsync)
+		err := s.dirty[s.flushIDs[i]].save(s.f.backend, sv, fsync)
 		free <- sv
 		return err, nil
 	})
@@ -707,7 +717,7 @@ func (s *shard) ensurePsavers() {
 	}
 	s.psavers = make([]*store.MultiSaver, flushWriters)
 	for i := range s.psavers {
-		s.psavers[i] = new(store.MultiSaver)
+		s.psavers[i] = &store.MultiSaver{Format: s.f.cfg.Format}
 	}
 }
 
@@ -717,7 +727,7 @@ func (s *shard) checkpoint(t *Tenant, fsync bool) error {
 	if _, ok := s.dirty[t.ID]; !ok {
 		return nil
 	}
-	if err := t.save(&s.saver, fsync); err != nil {
+	if err := t.save(s.f.backend, &s.saver, fsync); err != nil {
 		return err
 	}
 	delete(s.dirty, t.ID)

@@ -64,7 +64,7 @@ func TestLazyAdmissionAndCheckpoint(t *testing.T) {
 	deliverSession(t, f, "tanaka", 0)
 	f.Flush()
 
-	if _, err := os.Stat(filepath.Join(dir, "tanaka.json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "tanaka.ckpt")); err != nil {
 		t.Fatalf("no checkpoint after Flush: %v", err)
 	}
 	var episodes int
@@ -108,7 +108,7 @@ func TestEvictionAndReadmission(t *testing.T) {
 	if st.Evictions != 1 || st.Resident != 0 || st.Checkpoints != 1 {
 		t.Fatalf("after idle gap: stats = %+v", st)
 	}
-	if _, err := os.Stat(filepath.Join(dir, "sato.json")); err != nil {
+	if _, err := os.Stat(filepath.Join(dir, "sato.ckpt")); err != nil {
 		t.Fatalf("eviction wrote no checkpoint: %v", err)
 	}
 

@@ -4,16 +4,14 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 	"time"
 
 	"coreda"
 	"coreda/internal/adl"
 	"coreda/internal/parrun"
 	"coreda/internal/sim"
+	"coreda/internal/store"
 )
 
 // SoakConfig parameterizes a fleet soak: N simulated households living
@@ -33,6 +31,10 @@ type SoakConfig struct {
 	// Dir is the checkpoint directory. It should start empty: stale
 	// policy files would both seed tenants and pollute the digest.
 	Dir string
+	// Format selects the checkpoint encoding written by the fleet. The
+	// digest decodes and canonicalizes blobs, so it is identical across
+	// formats.
+	Format store.Format
 	// Workers bounds the parrun pool generating household streams.
 	// Zero means GOMAXPROCS.
 	Workers int
@@ -85,6 +87,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 	f, err := New(Config{
 		Shards:    cfg.Shards,
 		Dir:       cfg.Dir,
+		Format:    cfg.Format,
 		IdleEvict: cfg.IdleEvict,
 		OnLog:     cfg.OnLog,
 		NewSystem: func(household string) (coreda.SystemConfig, error) {
@@ -187,37 +190,51 @@ func soakStream(cfg SoakConfig, household string) []Event {
 	return out
 }
 
-// DigestDir hashes the checkpoint files of a directory (sorted by name,
-// rotated backups excluded) into a hex SHA-256. Two fleets that learned
-// the same policies produce the same digest — this is the comparator
-// behind the shard-count parity gate.
-func DigestDir(dir string) (string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
+// Digest hashes a backend's checkpoints (sorted by name) into a hex
+// SHA-256. Each blob is decoded and hashed in its canonical binary
+// re-encoding, so the digest is a function of what the tenants learned,
+// not of how the bytes happen to be stored: two fleets that learned the
+// same policies produce the same digest at any shard count AND in any
+// on-disk format (JSON float64s round-trip bit-exactly). This is the
+// comparator behind the shard-count and format parity gates.
+func Digest(b store.Backend) (string, error) {
+	var names []string
+	if err := b.Enumerate(func(name string) { names = append(names, name) }); err != nil {
 		return "", err
 	}
-	names := make([]string, 0, len(entries))
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
-			names = append(names, e.Name())
-		}
-	}
 	sort.Strings(names)
-	// Read the files in parallel: the digest is computed below in sorted
-	// name order regardless, so the concurrency only overlaps per-file
-	// open/read syscall latency (worthwhile even on one CPU — these are
-	// blocking disk reads, not CPU work) and cannot change the digest.
+	// Read and canonicalize the blobs in parallel: the digest is
+	// combined below in sorted name order regardless, so the concurrency
+	// only overlaps per-blob read latency and decode work and cannot
+	// change the result.
 	const readers = 8
-	files, err := parrun.Map(len(names), readers, func(i int) ([]byte, error) {
-		return os.ReadFile(filepath.Join(dir, names[i]))
+	sums, err := parrun.Map(len(names), readers, func(i int) ([sha256.Size]byte, error) {
+		var c store.Checkpoint
+		if err := store.LoadCheckpoint(b, names[i], &c); err != nil {
+			return [sha256.Size]byte{}, fmt.Errorf("digest %s: %w", names[i], err)
+		}
+		canon, err := store.AppendCheckpoint(nil, &c)
+		if err != nil {
+			return [sha256.Size]byte{}, fmt.Errorf("digest %s: %w", names[i], err)
+		}
+		return sha256.Sum256(canon), nil
 	})
 	if err != nil {
 		return "", err
 	}
 	h := sha256.New()
 	for i, name := range names {
-		fmt.Fprintf(h, "%s\x00%d\x00", name, len(files[i]))
-		h.Write(files[i])
+		fmt.Fprintf(h, "%s\x00", name)
+		h.Write(sums[i][:])
 	}
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// DigestDir is Digest over the local-dir backend rooted at dir.
+func DigestDir(dir string) (string, error) {
+	b, err := store.NewDirBackend(dir)
+	if err != nil {
+		return "", err
+	}
+	return Digest(b)
 }

@@ -3,7 +3,6 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"path/filepath"
 	"sort"
 	"time"
 
@@ -18,7 +17,8 @@ import (
 // virtual clock. It is owned by its shard's loop goroutine — fleet users
 // only touch a Tenant inside Fleet.Do.
 type Tenant struct {
-	// ID is the household ID.
+	// ID is the household ID; it doubles as the tenant's checkpoint
+	// blob name in the fleet's storage backend.
 	ID string
 	// Sched is the tenant's private virtual clock. All of the tenant's
 	// timers (idle watchdogs, reminder escalation) live here, which is
@@ -30,9 +30,6 @@ type Tenant struct {
 	System *coreda.System
 
 	activity *coreda.Activity
-	// path is the tenant's checkpoint file, computed once at admission so
-	// the checkpoint hot path does not rebuild it per save.
-	path string
 	// enc is the routine set in its on-disk form, encoded once at
 	// admission: routines never change after admission, so incremental
 	// checkpoints reuse this instead of re-encoding per save.
@@ -53,20 +50,20 @@ type Tenant struct {
 type recovery int
 
 const (
-	// recoveredFresh: no checkpoint on disk, blank policy.
+	// recoveredFresh: no checkpoint in the backend, blank policy.
 	recoveredFresh recovery = iota
-	// recoveredCheckpoint: learned policy restored from the file.
+	// recoveredCheckpoint: learned policy restored from the blob.
 	recoveredCheckpoint
 	// recoveredError: a checkpoint existed but was unusable (see
 	// Tenant.loadErr); the tenant started fresh.
 	recoveredError
 )
 
-// newTenant builds the household stack and restores its checkpoint file
-// if one exists. tryLoad false skips the restore outright — the caller
-// (the shard's known-checkpoint set) already knows no file exists, so a
-// first-contact admission costs zero filesystem probes.
-func newTenant(id string, cfg coreda.SystemConfig, path string, tryLoad bool) (*Tenant, recovery, error) {
+// newTenant builds the household stack and restores its checkpoint from
+// the backend if one exists. tryLoad false skips the restore outright —
+// the caller (the shard's known-checkpoint set) already knows no blob
+// exists, so a first-contact admission costs zero storage probes.
+func newTenant(id string, cfg coreda.SystemConfig, b store.Backend, tryLoad bool) (*Tenant, recovery, error) {
 	if cfg.Activity == nil {
 		return nil, 0, fmt.Errorf("fleet: NewSystem config for %q has no activity", id)
 	}
@@ -82,19 +79,18 @@ func newTenant(id string, cfg coreda.SystemConfig, path string, tryLoad bool) (*
 		Hub:      hub,
 		System:   sys,
 		activity: cfg.Activity,
-		path:     path,
 		enc:      store.EncodeRoutines([]adl.Routine{cfg.Activity.CanonicalRoutine()}),
 	}
 	if !tryLoad {
 		return t, recoveredFresh, nil
 	}
-	switch err := t.load(path); {
+	switch err := t.load(b); {
 	case err == nil:
 		return t, recoveredCheckpoint, nil
 	case errors.Is(err, store.ErrNoCheckpoint):
-		// Neither the checkpoint nor its rotated backup exists: a genuine
-		// fresh start, not a recovery failure. Folding this into the load
-		// saves the stat-per-admission probe the old existence check cost.
+		// No generation of the blob exists: a genuine fresh start, not a
+		// recovery failure. Folding this into the load saves the
+		// stat-per-admission probe the old existence check cost.
 		return t, recoveredFresh, nil
 	default:
 		t.loadErr = err
@@ -103,45 +99,43 @@ func newTenant(id string, cfg coreda.SystemConfig, path string, tryLoad bool) (*
 }
 
 // load restores the learned policy and training progress from a
-// checkpoint written by save.
-func (t *Tenant) load(path string) error {
-	f, _, tables, err := store.LoadMultiPolicy(path)
-	if err != nil {
+// checkpoint written by save, decoding straight into the planner's own
+// Q-table — no intermediate table is materialized on the admission
+// path.
+func (t *Tenant) load(b store.Backend) error {
+	var c store.Checkpoint
+	if err := store.LoadCheckpoint(b, t.ID, &c); err != nil {
 		return err
 	}
-	if f.Activity != t.activity.Name {
-		return fmt.Errorf("fleet: checkpoint %s is for activity %q, tenant runs %q", path, f.Activity, t.activity.Name)
+	if c.Activity != t.activity.Name {
+		return fmt.Errorf("fleet: checkpoint %s is for activity %q, tenant runs %q", t.ID, c.Activity, t.activity.Name)
 	}
-	if len(tables) != 1 {
-		return fmt.Errorf("fleet: checkpoint %s has %d policies, want 1", path, len(tables))
+	if len(c.Policies) != 1 {
+		return fmt.Errorf("fleet: checkpoint %s has %d policies, want 1", t.ID, len(c.Policies))
 	}
+	cp := &c.Policies[0]
 	p := t.System.Planner()
 	own := p.Table()
-	if own.NumStates() != tables[0].NumStates() || own.NumActions() != tables[0].NumActions() {
-		return fmt.Errorf("fleet: checkpoint %s shape %dx%d does not match activity", path, tables[0].NumStates(), tables[0].NumActions())
+	if own.NumStates() != cp.States || own.NumActions() != cp.Actions {
+		return fmt.Errorf("fleet: checkpoint %s shape %dx%d does not match activity", t.ID, cp.States, cp.Actions)
 	}
-	if err := own.SetValues(tables[0].Values()); err != nil {
+	if err := own.SetValues(cp.Q); err != nil {
 		return err
 	}
-	p.Restore(f.Policies[0].Episodes, f.Policies[0].Epsilon)
+	p.Restore(cp.Episodes, cp.Epsilon)
 	return nil
 }
 
 // save checkpoints the learned policy — Q-values plus the annealing
-// state — through the store's crash-safe rotation, reusing the shard's
-// saver buffers and the tenant's cached routine encoding. fsync is false
-// for incremental checkpoints and true for final flushes (see
+// state — through the backend's crash-safe rotation, reusing the
+// shard's saver buffers and the tenant's cached routine encoding. fsync
+// is false for incremental checkpoints and true for final flushes (see
 // store.MultiSaver.Save).
-func (t *Tenant) save(sv *store.MultiSaver, fsync bool) error {
+func (t *Tenant) save(b store.Backend, sv *store.MultiSaver, fsync bool) error {
 	p := t.System.Planner()
 	t.tables[0] = p.Table()
 	t.states[0] = store.TrainState{Episodes: p.Episodes, Epsilon: p.Epsilon()}
-	return sv.Save(t.path, t.ID, t.activity.Name, t.enc, t.tables[:], t.states[:], fsync)
-}
-
-// policyPath is the checkpoint file of a household.
-func (f *Fleet) policyPath(household string) string {
-	return filepath.Join(f.cfg.Dir, household+".json")
+	return sv.Save(b, t.ID, t.ID, t.activity.Name, t.enc, t.tables[:], t.states[:], fsync)
 }
 
 // sortedHouseholds returns a shard's resident household IDs in lexical

@@ -1,0 +1,66 @@
+package store
+
+import (
+	"testing"
+
+	"coreda/internal/testutil"
+)
+
+// TestCheckpointCodecAllocBudget pins the codec's zero-allocation
+// contract: steady-state encode into a buffer that has reached capacity
+// and steady-state re-decode of a tenant's blob into a reused
+// Checkpoint both allocate nothing. This is what keeps a fleet
+// checkpoint wave's allocation cost independent of Q-table size.
+// Enforced by the no-race pass of scripts/check.sh (the race detector's
+// instrumentation allocates).
+func TestCheckpointCodecAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets are enforced by the no-race pass (scripts/check.sh)")
+	}
+	c := testCheckpoint()
+	var buf []byte
+	var err error
+	if allocs := testing.AllocsPerRun(200, func() {
+		if buf, err = AppendCheckpoint(buf[:0], c); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("steady-state encode allocates %.1f/op, want 0", allocs)
+	}
+
+	data, err := AppendCheckpoint(nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dec Checkpoint
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeCheckpoint(&dec, data); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("steady-state decode allocates %.1f/op, want 0", allocs)
+	}
+	if !checkpointsEqual(c, &dec) {
+		t.Fatal("alloc-budget decode produced a different checkpoint")
+	}
+}
+
+// TestMultiSaverAllocBudget pins the whole staged save path above the
+// backend — stage + encode — at zero steady-state allocations, so the
+// only per-checkpoint costs left in a fleet wave are the file syscalls.
+func TestMultiSaverAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets are enforced by the no-race pass (scripts/check.sh)")
+	}
+	c := testCheckpoint()
+	tables, states := materialize(t, c)
+	var sv MultiSaver
+	b := &discardBackend{}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := sv.Save(b, "h", c.User, c.Activity, c.Routines, tables, states, false); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("steady-state MultiSaver.Save allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -3,27 +3,19 @@ package store
 import (
 	"bufio"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"io/fs"
-	"os"
 
 	"coreda/internal/adl"
 	"coreda/internal/rl"
 )
 
-// ErrNoCheckpoint is returned by LoadMultiPolicy when neither the
-// primary file nor its rotated backup exists — i.e. nothing was ever
-// checkpointed at that path. It lets callers distinguish "fresh start"
-// from "a checkpoint existed but is unusable" without a separate stat
-// probe before the load.
-var ErrNoCheckpoint = errors.New("store: no checkpoint")
-
 // multiPolicyVersion is the current MultiPolicyFile schema version.
 const multiPolicyVersion = 1
 
 // MultiPolicyFile serializes a multi-routine policy: the routine set and
-// one Q-table per routine.
+// one Q-table per routine. It is the JSON-format schema (and the
+// compatibility view LoadMultiPolicy returns whatever the on-disk
+// encoding was).
 type MultiPolicyFile struct {
 	Version  int          `json:"version"`
 	User     string       `json:"user"`
@@ -33,8 +25,9 @@ type MultiPolicyFile struct {
 }
 
 // TrainState is the training progress persisted alongside each policy of
-// a multi-policy file, so a planner restored from checkpoint resumes its
-// annealing schedule instead of restarting exploration from scratch.
+// a multi-policy checkpoint, so a planner restored from checkpoint
+// resumes its annealing schedule instead of restarting exploration from
+// scratch.
 type TrainState struct {
 	Episodes int
 	Epsilon  float64
@@ -59,174 +52,222 @@ func EncodeRoutines(routines []adl.Routine) EncodedRoutines {
 	return enc
 }
 
-// MultiSaver writes multi-routine policy checkpoints with reusable encode
-// state: the policy headers, Q-value scratch slices and the file-write
-// buffer all persist across saves, and the JSON is streamed to the temp
-// file instead of marshal-then-write — so steady-state checkpointing does
-// not scale its allocations with the Q-table size. The zero value is
-// ready to use. A MultiSaver is not safe for concurrent use; in the fleet
-// each shard owns one and checkpoints its tenants through it.
+// MultiSaver writes multi-routine policy checkpoints with reusable
+// encode state: the staged Checkpoint, its Q-value scratch slices and
+// the encode buffer all persist across saves, so steady-state
+// checkpointing does not scale its allocations with the Q-table size.
+// Format selects the encoding (the zero value is the binary CKPT
+// default). The zero value is ready to use. A MultiSaver is not safe
+// for concurrent use; in the fleet each shard owns one and checkpoints
+// its tenants through it.
 type MultiSaver struct {
-	f  MultiPolicyFile
-	q  [][]float64
-	bw *bufio.Writer
+	// Format is the on-disk encoding written by Save/SavePath.
+	Format Format
+
+	ckpt Checkpoint // staged encode view (binary path)
+	buf  []byte     // reusable CKPT encode buffer
+
+	f  MultiPolicyFile // staged encode view (JSON path)
+	bw *bufio.Writer   // reusable JSON stream buffer, reset per save
+
+	q [][]float64 // per-policy Q-value scratch, reused across saves
 }
 
-// Save writes one checkpoint atomically, rotating the previous generation
-// to path+BackupSuffix first (same crash-safety contract as SavePolicy).
-// routines and tables must be parallel; states may be nil or parallel to
-// them. fsync says whether the temp file is flushed to stable storage
-// before the rename: incremental checkpoints pass false (the rename keeps
-// them atomic against process crashes, and the rotated backup covers a
-// torn file after a power loss), while final flushes pass true for full
+// Save encodes one checkpoint and writes it atomically through the
+// backend (Put semantics: previous generation kept as fallback). The
+// encoded bytes stream to the backend in PutChunk-sized writes, so a
+// large Q-table never forces one giant write. routines and tables must
+// be parallel; states may be nil or parallel to them. fsync says
+// whether the blob is flushed to stable storage before it is published:
+// incremental checkpoints pass false (atomic publication keeps them
+// process-crash-safe, and the previous generation covers a torn blob
+// after a power loss), while final flushes pass true for full
 // durability.
-func (s *MultiSaver) Save(path, user, activity string, routines EncodedRoutines, tables []*rl.QTable, states []TrainState, fsync bool) error {
+func (s *MultiSaver) Save(b Backend, name, user, activity string, routines EncodedRoutines, tables []*rl.QTable, states []TrainState, fsync bool) error {
+	if err := s.stage(user, activity, routines, tables, states); err != nil {
+		return err
+	}
+	w, err := b.PutStream(name, fsync)
+	if err != nil {
+		return err
+	}
+	return s.writeTo(w)
+}
+
+// SavePath is Save against a bare filesystem path (no backend, no
+// extension convention): the compatibility entry point for the
+// path-based SaveMultiPolicy API. The crash-safety protocol is
+// identical — it writes through the same fileBlobWriter the local-dir
+// backend uses.
+func (s *MultiSaver) SavePath(path, user, activity string, routines EncodedRoutines, tables []*rl.QTable, states []TrainState, fsync bool) error {
+	if err := s.stage(user, activity, routines, tables, states); err != nil {
+		return err
+	}
+	w, err := newFileBlobWriter(path, fsync)
+	if err != nil {
+		return err
+	}
+	return s.writeTo(w)
+}
+
+// stage validates the arguments and fills the saver's reusable encode
+// view for s.Format.
+func (s *MultiSaver) stage(user, activity string, routines EncodedRoutines, tables []*rl.QTable, states []TrainState) error {
 	if len(routines) != len(tables) {
 		return fmt.Errorf("store: %d routines but %d tables", len(routines), len(tables))
 	}
 	if states != nil && len(states) != len(tables) {
 		return fmt.Errorf("store: %d tables but %d train states", len(tables), len(states))
 	}
-	s.f.Version = multiPolicyVersion
-	s.f.User = user
-	s.f.Activity = activity
-	s.f.Routines = routines
 	for len(s.q) < len(tables) {
 		s.q = append(s.q, nil)
 	}
-	s.f.Policies = s.f.Policies[:0]
+	if s.Format == FormatJSON {
+		s.f.Version = multiPolicyVersion
+		s.f.User = user
+		s.f.Activity = activity
+		s.f.Routines = routines
+		s.f.Policies = s.f.Policies[:0]
+		for i, t := range tables {
+			s.q[i] = t.AppendValues(s.q[i][:0])
+			p := PolicyFile{
+				Version:  policyVersion,
+				User:     user,
+				Activity: activity,
+				States:   t.NumStates(),
+				Actions:  t.NumActions(),
+				Q:        s.q[i],
+			}
+			if states != nil {
+				p.Episodes = states[i].Episodes
+				p.Epsilon = states[i].Epsilon
+			}
+			s.f.Policies = append(s.f.Policies, p)
+		}
+		return nil
+	}
+	s.ckpt.User = user
+	s.ckpt.Activity = activity
+	s.ckpt.Routines = routines
+	for cap(s.ckpt.Policies) < len(tables) {
+		s.ckpt.Policies = append(s.ckpt.Policies[:cap(s.ckpt.Policies)], CheckpointPolicy{})
+	}
+	s.ckpt.Policies = s.ckpt.Policies[:len(tables)]
 	for i, t := range tables {
 		s.q[i] = t.AppendValues(s.q[i][:0])
-		p := PolicyFile{
-			Version:  policyVersion,
-			User:     user,
-			Activity: activity,
-			States:   t.NumStates(),
-			Actions:  t.NumActions(),
-			Q:        s.q[i],
-		}
+		p := &s.ckpt.Policies[i]
+		p.States, p.Actions = t.NumStates(), t.NumActions()
+		p.Episodes, p.Epsilon = 0, 0
 		if states != nil {
-			p.Episodes = states[i].Episodes
-			p.Epsilon = states[i].Epsilon
+			p.Episodes, p.Epsilon = states[i].Episodes, states[i].Epsilon
 		}
-		s.f.Policies = append(s.f.Policies, p)
-	}
-	if err := rotateBackup(path); err != nil {
-		return err
-	}
-	return s.writeFile(path, fsync)
-}
-
-// writeFile streams the pending MultiPolicyFile to a temp file next to
-// path and renames it into place. There is exactly one writer per
-// checkpoint path (shards own their tenants), so the temp name can be
-// fixed — no CreateTemp name hunt — and the temp file is only unlinked
-// on the error path (after a successful rename there is nothing to
-// remove, and an unconditional deferred Remove would cost a failing
-// unlink syscall per checkpoint). Checkpoints are machine state written
-// at high rate, so the JSON is compact, not indented.
-func (s *MultiSaver) writeFile(path string, fsync bool) (err error) {
-	tmpName := path + ".tmp"
-	tmp, err := os.OpenFile(tmpName, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: temp file: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmpName)
-		}
-	}()
-	if s.bw == nil {
-		s.bw = bufio.NewWriterSize(tmp, 32<<10)
-	} else {
-		s.bw.Reset(tmp)
-	}
-	if err := json.NewEncoder(s.bw).Encode(&s.f); err != nil {
-		return fmt.Errorf("store: encode %s: %w", tmpName, err)
-	}
-	if err := s.bw.Flush(); err != nil {
-		return fmt.Errorf("store: write %s: %w", tmpName, err)
-	}
-	if fsync {
-		if err := tmp.Sync(); err != nil {
-			return fmt.Errorf("store: sync %s: %w", tmpName, err)
-		}
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: close %s: %w", tmpName, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		return fmt.Errorf("store: rename: %w", err)
+		p.Q = s.q[i]
 	}
 	return nil
 }
 
-// SaveMultiPolicy writes a multi-routine policy atomically, rotating the
-// previous generation to path+BackupSuffix first (same crash-safety
-// contract as SavePolicy). routines and tables must be parallel slices;
-// states may be nil (no training progress recorded) or parallel to them.
-// It is the one-shot convenience over MultiSaver (fsynced); repeated
-// checkpointing should hold a MultiSaver and cached EncodeRoutines
-// instead.
+// writeTo encodes the staged checkpoint through w and commits it.
+func (s *MultiSaver) writeTo(w BlobWriter) error {
+	if s.Format == FormatJSON {
+		// Checkpoints are machine state written at high rate, so the JSON
+		// is compact, not indented, and streams through the reusable
+		// buffer instead of marshal-then-write.
+		if s.bw == nil {
+			s.bw = bufio.NewWriterSize(w, 32<<10)
+		} else {
+			s.bw.Reset(w)
+		}
+		if err := json.NewEncoder(s.bw).Encode(&s.f); err != nil {
+			w.Abort()
+			return fmt.Errorf("store: encode checkpoint: %w", err)
+		}
+		if err := s.bw.Flush(); err != nil {
+			w.Abort()
+			return fmt.Errorf("store: write checkpoint: %w", err)
+		}
+		return w.Commit()
+	}
+	var err error
+	if s.buf, err = AppendCheckpoint(s.buf[:0], &s.ckpt); err != nil {
+		w.Abort()
+		return err
+	}
+	return putChunked(w, s.buf)
+}
+
+// SaveMultiPolicy writes a multi-routine policy atomically at path in
+// the default (binary) format, keeping the previous generation at
+// path+BackupSuffix (same crash-safety contract as SavePolicy).
+// routines and tables must be parallel slices; states may be nil (no
+// training progress recorded) or parallel to them. It is the one-shot
+// convenience over MultiSaver (fsynced); repeated checkpointing should
+// hold a MultiSaver and cached EncodeRoutines instead.
 func SaveMultiPolicy(path, user, activity string, routines []adl.Routine, tables []*rl.QTable, states []TrainState) error {
 	var s MultiSaver
-	return s.Save(path, user, activity, EncodeRoutines(routines), tables, states, true)
+	return s.SavePath(path, user, activity, EncodeRoutines(routines), tables, states, true)
 }
 
-// LoadMultiPolicy reads and validates a multi-routine policy. If the
-// primary file is unreadable or malformed, the rotated backup
-// (path+BackupSuffix) is tried before giving up; the returned error then
-// covers both attempts, except that two missing files collapse to
-// ErrNoCheckpoint. A torn primary with no backup is deliberately NOT
-// ErrNoCheckpoint — a checkpoint existed and was lost, and callers must
-// be able to tell that apart from a genuine fresh start. Per-policy
-// training progress is in the returned file's Policies[i].Episodes/
-// Epsilon.
+// LoadMultiPolicy reads and validates a multi-routine policy of either
+// format (the content is sniffed, so pre-binary JSON checkpoints load
+// transparently). If the primary file is unreadable or malformed, the
+// rotated backup (path+BackupSuffix) is tried before giving up; the
+// returned error then covers both attempts, except that two missing
+// files collapse to ErrNoCheckpoint. A torn primary with no backup is
+// deliberately NOT ErrNoCheckpoint — a checkpoint existed and was lost,
+// and callers must be able to tell that apart from a genuine fresh
+// start. Per-policy training progress is in the returned file's
+// Policies[i].Episodes/Epsilon.
 func LoadMultiPolicy(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
-	f, routines, tables, err := loadMultiPolicyFile(path)
-	if err == nil {
-		return f, routines, tables, nil
-	}
-	bf, broutines, btables, berr := loadMultiPolicyFile(path + BackupSuffix)
-	if berr != nil {
-		if errors.Is(err, fs.ErrNotExist) && errors.Is(berr, fs.ErrNotExist) {
-			return MultiPolicyFile{}, nil, nil, ErrNoCheckpoint
-		}
-		return MultiPolicyFile{}, nil, nil, fmt.Errorf("%w (backup: %v)", err, berr)
-	}
-	return bf, broutines, btables, nil
-}
-
-func loadMultiPolicyFile(path string) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
-	var f MultiPolicyFile
-	if err := readJSON(path, &f); err != nil {
+	var c Checkpoint
+	if _, err := loadBlobFile(path, func(data []byte) error { return DecodeCheckpoint(&c, data) }); err != nil {
 		return MultiPolicyFile{}, nil, nil, err
 	}
-	if f.Version != multiPolicyVersion {
-		return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s has version %d, want %d", path, f.Version, multiPolicyVersion)
+	f, routines, tables, err := checkpointToMulti(&c)
+	if err != nil {
+		return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s: %w", path, err)
 	}
-	if len(f.Routines) != len(f.Policies) || len(f.Routines) == 0 {
-		return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s has %d routines and %d policies", path, len(f.Routines), len(f.Policies))
+	return f, routines, tables, nil
+}
+
+// checkpointToMulti converts a decoded Checkpoint into the
+// MultiPolicyFile compatibility view plus materialized routines and
+// Q-tables.
+func checkpointToMulti(c *Checkpoint) (MultiPolicyFile, []adl.Routine, []*rl.QTable, error) {
+	if len(c.Routines) != len(c.Policies) || len(c.Routines) == 0 {
+		return MultiPolicyFile{}, nil, nil, fmt.Errorf("%d routines and %d policies", len(c.Routines), len(c.Policies))
 	}
-	routines := make([]adl.Routine, len(f.Routines))
-	tables := make([]*rl.QTable, len(f.Policies))
-	for i, enc := range f.Routines {
+	f := MultiPolicyFile{
+		Version:  multiPolicyVersion,
+		User:     c.User,
+		Activity: c.Activity,
+		Routines: c.Routines,
+		Policies: make([]PolicyFile, len(c.Policies)),
+	}
+	routines := make([]adl.Routine, len(c.Routines))
+	tables := make([]*rl.QTable, len(c.Policies))
+	for i, enc := range c.Routines {
 		r := make(adl.Routine, len(enc))
 		for j, s := range enc {
 			r[j] = adl.StepID(s)
 		}
 		routines[i] = r
 
-		p := f.Policies[i]
-		if p.States <= 0 || p.Actions <= 0 || len(p.Q) != p.States*p.Actions {
-			return MultiPolicyFile{}, nil, nil, fmt.Errorf("store: multi-policy %s: policy %d malformed", path, i)
-		}
+		p := c.Policies[i]
 		t := rl.NewQTable(p.States, p.Actions, 0)
 		if err := t.SetValues(p.Q); err != nil {
 			return MultiPolicyFile{}, nil, nil, err
 		}
 		tables[i] = t
+		f.Policies[i] = PolicyFile{
+			Version:  policyVersion,
+			User:     c.User,
+			Activity: c.Activity,
+			States:   p.States,
+			Actions:  p.Actions,
+			Episodes: p.Episodes,
+			Epsilon:  p.Epsilon,
+			Q:        p.Q,
+		}
 	}
 	return f, routines, tables, nil
 }

@@ -1,6 +1,10 @@
-// Package store persists learned policies and user profiles as versioned
-// JSON files with atomic writes (temp file + rename), so a crash mid-save
-// never corrupts a user's learned routine.
+// Package store persists learned policies and user profiles. Policies
+// are checkpoint blobs in the binary CKPT format by default (legacy
+// JSON stays loadable via content sniffing; see ckpt.go), written
+// through a pluggable Backend (see backend.go) or directly at a path;
+// every write is atomic (temp file + rename) with the previous
+// generation rotated to a .1 backup, so a crash mid-save never corrupts
+// a user's learned routine. Profiles remain human-editable JSON.
 package store
 
 import (
@@ -36,25 +40,55 @@ type PolicyFile struct {
 // generation kept as a recovery fallback.
 const BackupSuffix = ".1"
 
-// SavePolicy writes a policy file atomically. The previous generation, if
-// any, is first rotated to path+BackupSuffix, so a policy file corrupted
-// after the fact (disk fault, torn copy) still has a one-generation-old
-// fallback next to it.
+// SavePolicy writes a policy file atomically in the default (binary)
+// format. The previous generation, if any, is rotated to
+// path+BackupSuffix, so a policy file corrupted after the fact (disk
+// fault, torn copy) still has a one-generation-old fallback next to it.
 func SavePolicy(path, user, activity string, table *rl.QTable, episodes int, epsilon float64) error {
-	f := PolicyFile{
-		Version:  policyVersion,
-		User:     user,
-		Activity: activity,
-		States:   table.NumStates(),
-		Actions:  table.NumActions(),
-		Episodes: episodes,
-		Epsilon:  epsilon,
-		Q:        table.Values(),
+	return SavePolicyFormat(path, FormatBinary, user, activity, table, episodes, epsilon)
+}
+
+// SavePolicyFormat is SavePolicy with an explicit on-disk encoding
+// (the -store-format plumbing for cmd/coreda-server).
+func SavePolicyFormat(path string, format Format, user, activity string, table *rl.QTable, episodes int, epsilon float64) error {
+	var data []byte
+	if format == FormatJSON {
+		f := PolicyFile{
+			Version:  policyVersion,
+			User:     user,
+			Activity: activity,
+			States:   table.NumStates(),
+			Actions:  table.NumActions(),
+			Episodes: episodes,
+			Epsilon:  epsilon,
+			Q:        table.Values(),
+		}
+		var err error
+		if data, err = json.MarshalIndent(f, "", "  "); err != nil {
+			return fmt.Errorf("store: marshal %s: %w", path, err)
+		}
+	} else {
+		c := Checkpoint{
+			User:     user,
+			Activity: activity,
+			Policies: []CheckpointPolicy{{
+				States:   table.NumStates(),
+				Actions:  table.NumActions(),
+				Episodes: episodes,
+				Epsilon:  epsilon,
+				Q:        table.Values(),
+			}},
+		}
+		var err error
+		if data, err = AppendCheckpoint(nil, &c); err != nil {
+			return err
+		}
 	}
-	if err := rotateBackup(path); err != nil {
+	w, err := newFileBlobWriter(path, true)
+	if err != nil {
 		return err
 	}
-	return writeJSON(path, f)
+	return putChunked(w, data)
 }
 
 // rotateBackup moves the previous generation of path, if any, to
@@ -71,38 +105,52 @@ func rotateBackup(path string) error {
 	return nil
 }
 
-// LoadPolicy reads and validates a policy file, returning the metadata
-// and a reconstructed Q-table. If the primary file is unreadable or
-// malformed, the rotated backup (path+BackupSuffix) is tried before
-// giving up; the returned error then covers both attempts.
+// LoadPolicy reads and validates a single-policy file of either format
+// (content is sniffed, so pre-binary JSON files load transparently),
+// returning the metadata and a reconstructed Q-table. If the primary
+// file is unreadable or malformed, the rotated backup
+// (path+BackupSuffix) is tried before giving up; the returned error
+// then covers both attempts (two missing generations collapse to
+// ErrNoCheckpoint).
 func LoadPolicy(path string) (PolicyFile, *rl.QTable, error) {
-	f, table, err := loadPolicyFile(path)
-	if err == nil {
-		return f, table, nil
+	var c Checkpoint
+	if _, err := loadBlobFile(path, func(data []byte) error { return DecodeCheckpoint(&c, data) }); err != nil {
+		return PolicyFile{}, nil, err
 	}
-	bf, btable, berr := loadPolicyFile(path + BackupSuffix)
-	if berr != nil {
-		return PolicyFile{}, nil, fmt.Errorf("%w (backup: %v)", err, berr)
-	}
-	return bf, btable, nil
+	return checkpointToPolicy(path, &c)
 }
 
+// loadPolicyFile loads exactly one generation (no backup fallback); the
+// backup-rotation tests use it to inspect a specific file.
 func loadPolicyFile(path string) (PolicyFile, *rl.QTable, error) {
-	var f PolicyFile
-	if err := readJSON(path, &f); err != nil {
+	var c Checkpoint
+	if _, err := readBlobAt(path, func(data []byte) error { return DecodeCheckpoint(&c, data) }); err != nil {
 		return PolicyFile{}, nil, err
 	}
-	if f.Version != policyVersion {
-		return PolicyFile{}, nil, fmt.Errorf("store: policy %s has version %d, want %d", path, f.Version, policyVersion)
+	return checkpointToPolicy(path, &c)
+}
+
+// checkpointToPolicy converts a decoded single-policy checkpoint to the
+// PolicyFile view plus a materialized Q-table.
+func checkpointToPolicy(path string, c *Checkpoint) (PolicyFile, *rl.QTable, error) {
+	if len(c.Policies) != 1 {
+		return PolicyFile{}, nil, fmt.Errorf("store: policy %s has %d policies, want 1", path, len(c.Policies))
 	}
-	if f.States <= 0 || f.Actions <= 0 || len(f.Q) != f.States*f.Actions {
-		return PolicyFile{}, nil, fmt.Errorf("store: policy %s is malformed (%dx%d, %d values)", path, f.States, f.Actions, len(f.Q))
-	}
-	table := rl.NewQTable(f.States, f.Actions, 0)
-	if err := table.SetValues(f.Q); err != nil {
+	p := c.Policies[0]
+	table := rl.NewQTable(p.States, p.Actions, 0)
+	if err := table.SetValues(p.Q); err != nil {
 		return PolicyFile{}, nil, err
 	}
-	return f, table, nil
+	return PolicyFile{
+		Version:  policyVersion,
+		User:     c.User,
+		Activity: c.Activity,
+		States:   p.States,
+		Actions:  p.Actions,
+		Episodes: p.Episodes,
+		Epsilon:  p.Epsilon,
+		Q:        p.Q,
+	}, table, nil
 }
 
 // ProfileFile is the serialized form of a user profile: identity and the

@@ -3,8 +3,10 @@
 # the parallel-runner benchmark (workers=1 vs 4) plus the planner/learner
 # micro-benchmarks and records the numbers in BENCH_experiments.json,
 # together with the host CPU budget that bounds any parallel speedup.
-# Also soaks the multi-tenant fleet runtime and records its throughput
-# (events/sec, households/shard) in BENCH_fleet.json.
+# Also benchmarks the CKPT checkpoint codec against its JSON baseline
+# (BENCH_store.json) and soaks the multi-tenant fleet runtime across a
+# GOMAXPROCS x shards matrix, recording per-row throughput in
+# BENCH_fleet.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -71,8 +73,68 @@ echo "$wraw"
 
 echo "wrote $wout"
 
-# Fleet throughput: 1000 households through the sharded runtime at the
-# host's natural shard count. The deterministic soak outcome goes to
-# stdout; the wall-clock numbers land in the JSON.
-go run ./cmd/coreda-bench -households 1000 -fleet-json BENCH_fleet.json fleet
-echo "wrote BENCH_fleet.json"
+# Checkpoint codec: the binary CKPT encode/decode fast paths next to
+# their JSON baselines. The binary rows must stay well ahead of the JSON
+# ones and at 0 allocs/op (enforced by the store alloc budgets in the
+# no-race pass of scripts/check.sh).
+sout=BENCH_store.json
+spattern='BenchmarkCheckpointEncode|BenchmarkCheckpointDecode'
+sraw=$(go test -run '^$' -bench "$spattern" -benchmem -count 1 ./internal/store/)
+echo "$sraw"
+
+{
+    echo '{'
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN),"
+    echo '  "note": "CKPT checkpoint codec vs the legacy JSON encoding, one fleet-scale tenant blob per op. The binary rows are the serving default; allocs_per_op must stay 0 on them (TestCheckpointCodecAllocBudget, TestMultiSaverAllocBudget).",'
+    echo '  "benchmarks": ['
+    echo "$sraw" | awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            nsop = ""; bop = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") nsop = $i
+                if ($(i+1) == "B/op") bop = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, allocs)
+        }
+        END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+    '
+    echo '  ]'
+    echo '}'
+} > "$sout"
+
+echo "wrote $sout"
+
+# Fleet throughput matrix: 1000 households through the sharded runtime
+# at GOMAXPROCS×shards = 1/2/4/8. Each row records the parallelism it
+# actually ran with (cpus = GOMAXPROCS, which may exceed host_cpus on
+# small hosts — the digest is identical either way, only the wall-clock
+# numbers move). The deterministic soak outcome goes to stdout; the
+# wall-clock numbers land in the JSON rows.
+fout=BENCH_fleet.json
+rows=()
+for n in 1 2 4 8; do
+    row="/tmp/coreda-bench-fleet-$n.json"
+    GOMAXPROCS=$n go run ./cmd/coreda-bench -households 1000 -fleet-shards "$n" -fleet-json "$row" fleet
+    rows+=("$row")
+done
+
+{
+    echo '{'
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
+    echo '  "note": "GOMAXPROCS x shards matrix over the same 1000-household soak. Digest and stats are identical on every row; only elapsed_sec/events_per_sec may differ.",'
+    echo '  "rows": ['
+    for i in "${!rows[@]}"; do
+        sep=","
+        [[ $i -eq $((${#rows[@]} - 1)) ]] && sep=""
+        sed "\$s/\$/$sep/" "${rows[$i]}"
+    done
+    echo '  ]'
+    echo '}'
+} > "$fout"
+rm -f /tmp/coreda-bench-fleet-{1,2,4,8}.json
+
+echo "wrote $fout"

@@ -31,12 +31,12 @@ go test -race ./...
 # The zero-allocation budgets on the serving path skip themselves under
 # the race detector (its instrumentation allocates), so they are
 # enforced by an explicit no-race pass over the serving packages:
-# the wire codec, the shard ingest loop, and the node client's report
-# path. The hotalloc analyzer rides in the same phase — it names the
-# escaping expression when a //coreda:hotpath function regresses, which
-# an AllocsPerRun count never does.
+# the wire codec, the shard ingest loop, the node client's report path,
+# and the CKPT checkpoint codec. The hotalloc analyzer rides in the same
+# phase — it names the escaping expression when a //coreda:hotpath
+# function regresses, which an AllocsPerRun count never does.
 echo "== alloc budgets (no race)"
-go test -run 'Alloc' ./internal/wire/ ./internal/fleet/ ./internal/rtbridge/
+go test -run 'Alloc' ./internal/wire/ ./internal/fleet/ ./internal/rtbridge/ ./internal/store/
 go run ./cmd/coreda-vet -only hotalloc ./...
 
 echo "== chaos soak (workers 1 vs 4 must match)"
@@ -57,6 +57,14 @@ for n in 1 4 8; do
 done
 diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-s4.txt
 diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-s8.txt
-rm -f /tmp/coreda-fleet-s{1,4,8}.txt
+
+# Storage-format parity gate: the same soak with JSON checkpoints must
+# produce the same stdout — including the policy digest, which decodes
+# and canonicalizes blobs precisely so that the on-disk encoding can
+# never change what a household learned.
+echo "== fleet soak (store-format json must match binary, race-enabled)"
+go run -race ./cmd/coreda-bench -households 1000 -store-format json fleet > /tmp/coreda-fleet-json.txt
+diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-json.txt
+rm -f /tmp/coreda-fleet-s{1,4,8}.txt /tmp/coreda-fleet-json.txt
 
 echo "ok"
