@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"coreda/internal/cluster"
+	"coreda/internal/fleet"
+)
+
+// clusterBenchRow is one proc-count measurement: the same soak executed
+// by that many worker processes. The digest is deterministic; the
+// throughput is this run's wall clock.
+type clusterBenchRow struct {
+	Procs        int     `json:"procs"`
+	Events       int     `json:"events"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Digest       string  `json:"digest"`
+}
+
+// clusterBenchResult is the machine-readable record written by
+// -cluster-json (BENCH_cluster.json in scripts/bench.sh).
+type clusterBenchResult struct {
+	Seed       int64             `json:"seed"`
+	Households int               `json:"households"`
+	Sessions   int               `json:"sessions"`
+	Replicas   int               `json:"replicas"`
+	HostCPUs   int               `json:"host_cpus"`
+	Baseline   string            `json:"baseline_digest"`
+	Rows       []clusterBenchRow `json:"rows"`
+}
+
+// runClusterBench soaks the same household set as a cluster of 1, 2 and
+// 3 worker processes (K=2 replicas) and checks every run's combined
+// policy digest against the single-process fleet.Soak baseline — the
+// distribution-parity gate. Stdout is deterministic in (seed,
+// households, sessions); wall-clock throughput goes only to -cluster-json.
+func runClusterBench(seed int64, households, sessions int, jsonPath string) error {
+	baseDir, err := os.MkdirTemp("", "coreda-cluster-bench-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(baseDir)
+
+	base, err := fleet.Soak(fleet.SoakConfig{
+		Seed:       seed,
+		Households: households,
+		Sessions:   sessions,
+		Shards:     2,
+		Dir:        baseDir,
+	})
+	if err != nil {
+		return err
+	}
+
+	const replicas = 2
+	fmt.Printf("Cluster soak: %d households x %d sessions (seed %d, %d replicas)\n",
+		households, sessions, seed, replicas)
+	fmt.Printf("  baseline digest  %s\n", base.Digest)
+
+	out := clusterBenchResult{
+		Seed:       seed,
+		Households: households,
+		Sessions:   sessions,
+		Replicas:   replicas,
+		HostCPUs:   runtime.NumCPU(),
+		Baseline:   base.Digest,
+	}
+	for _, procs := range []int{1, 2, 3} {
+		dir, err := os.MkdirTemp("", "coreda-cluster-bench-")
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		res, err := cluster.RunSoak(cluster.SoakSpec{
+			Procs:      procs,
+			Replicas:   replicas,
+			Households: households,
+			Sessions:   sessions,
+			Seed:       seed,
+			Shards:     2,
+			Dir:        dir,
+		})
+		elapsed := time.Since(start)
+		os.RemoveAll(dir)
+		if err != nil {
+			return fmt.Errorf("cluster soak at %d procs: %w", procs, err)
+		}
+		match := "MATCH"
+		if res.Digest != base.Digest {
+			match = "MISMATCH"
+		}
+		fmt.Printf("  %d proc(s): %d events, digest %s (%s)\n", procs, res.Events, res.Digest, match)
+		if res.Digest != base.Digest {
+			return fmt.Errorf("cluster digest at %d procs diverged from single-process baseline", procs)
+		}
+		out.Rows = append(out.Rows, clusterBenchRow{
+			Procs:        procs,
+			Events:       res.Events,
+			ElapsedSec:   elapsed.Seconds(),
+			EventsPerSec: float64(res.Events) / elapsed.Seconds(),
+			Digest:       res.Digest,
+		})
+	}
+
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|chaos|fleet|sweeps|all]
+//	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|chaos|fleet|cluster|sweeps|all]
 //
 // The fleet workload (-households, -fleet-shards, -fleet-sessions,
 // -fleet-json) soaks the multi-tenant runtime of internal/fleet; its
 // stdout is deterministic and shard-count independent, while -fleet-json
 // records this run's wall-clock throughput.
+//
+// The cluster workload (-cluster-households, -cluster-sessions,
+// -cluster-json) re-runs the soak as 1, 2 and 3 cooperating worker
+// processes (internal/cluster) and gates their combined policy digests
+// against the single-process baseline; it is excluded from "all" because
+// it re-execs the binary (cluster.MaybeWorker intercepts the workers).
 package main
 
 import (
@@ -19,10 +25,12 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"coreda/internal/cluster"
 	"coreda/internal/experiments"
 )
 
 func main() {
+	cluster.MaybeWorker()
 	seed := flag.Int64("seed", 1, "master random seed")
 	samples := flag.Int("samples", 40, "samples per step for table 3 (paper: 40)")
 	episodes := flag.Int("episodes", 120, "training samples per ADL for figure 4 (paper: 120)")
@@ -33,6 +41,9 @@ func main() {
 	fleetShards := flag.Int("fleet-shards", 0, "fleet shard count (0 = GOMAXPROCS; stdout is identical at any value)")
 	fleetSessions := flag.Int("fleet-sessions", 4, "sessions per household for the fleet workload")
 	fleetJSON := flag.String("fleet-json", "", "write fleet throughput (events/sec, households/shard) to this JSON file")
+	clusterHouseholds := flag.Int("cluster-households", 24, "simulated households for the cluster workload")
+	clusterSessions := flag.Int("cluster-sessions", 4, "sessions per household for the cluster workload")
+	clusterJSON := flag.String("cluster-json", "", "write cluster throughput (events/sec at 1/2/3 procs) to this JSON file")
 	storeFormat := flag.String("store-format", "binary", "fleet checkpoint encoding: binary or json (stdout is identical at either)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
@@ -172,6 +183,14 @@ func main() {
 	run("fleet", func() error {
 		return runFleetBench(*seed, *households, *fleetShards, *fleetSessions, *workers, *storeFormat, *fleetJSON)
 	})
+	// Opt-in only (not part of "all"): spawns worker processes.
+	if which == "cluster" {
+		if err := runClusterBench(*seed, *clusterHouseholds, *clusterSessions, *clusterJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "coreda-bench: cluster: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
 	run("sweeps", func() error {
 		noise, err := experiments.RunNoiseSweep(*seed, 25, *workers)
 		if err != nil {
@@ -192,7 +211,7 @@ func main() {
 	})
 
 	switch which {
-	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "chaos", "fleet", "sweeps":
+	case "all", "table1", "table2", "table3", "figure4", "table4", "figure1", "ablations", "comparison", "chaos", "fleet", "cluster", "sweeps":
 	default:
 		fmt.Fprintf(os.Stderr, "coreda-bench: unknown experiment %q\n", which)
 		os.Exit(2)

@@ -12,6 +12,14 @@
 //	             [-checkpoint 30s] [-evict 30m] [-default-household home]
 //	             [-seed 1] [-keep-learning]
 //	             [-read-timeout 2m] [-write-timeout 10s]
+//	             [-peers host1:7200,host2:7200 -peer-addr host1:7200 -replicas 2]
+//
+// With -peers set the process joins a fleet cluster (internal/cluster):
+// the comma-separated peer list (which must include this process's own
+// -peer-addr) is rendezvous-hashed into household ranges, nodes that
+// hello a household owned by another peer are redirected to it, and
+// every checkpoint flush is replicated to -replicas peers so a killed
+// process's households can be adopted by the survivors.
 //
 // Households are admitted lazily on their first event, recovering their
 // learned policy from <dir>/<household>.ckpt when one exists (legacy
@@ -30,11 +38,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
 	"coreda"
+	"coreda/internal/cluster"
 	"coreda/internal/fleet"
 	"coreda/internal/store"
 )
@@ -56,9 +66,13 @@ type options struct {
 	keepLearning     bool
 	readTimeout      time.Duration
 	writeTimeout     time.Duration
+	peers            string
+	peerAddr         string
+	replicas         int
 }
 
 func main() {
+	cluster.MaybeWorker()
 	var o options
 	flag.StringVar(&o.addr, "addr", ":7100", "listen address")
 	flag.IntVar(&o.shards, "shards", 0, "shard event loops households are hashed across (0 = GOMAXPROCS)")
@@ -75,6 +89,9 @@ func main() {
 	flag.BoolVar(&o.keepLearning, "keep-learning", false, "continue learning during assist sessions")
 	flag.DurationVar(&o.readTimeout, "read-timeout", 0, "per-connection read deadline, wall clock (0 disables)")
 	flag.DurationVar(&o.writeTimeout, "write-timeout", 0, "per-connection write deadline, wall clock (0 disables)")
+	flag.StringVar(&o.peers, "peers", "", "comma-separated cluster peer addresses including -peer-addr (empty = single process)")
+	flag.StringVar(&o.peerAddr, "peer-addr", "", "this process's peer listen address (its identity in -peers)")
+	flag.IntVar(&o.replicas, "replicas", 2, "checkpoint replica count K on the peer ring (with -peers)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -114,9 +131,46 @@ func run(o options) error {
 	}
 
 	out := &console{}
+
+	// Clustered: the peer node wraps the checkpoint backend (replication
+	// to K peers at every flush) and owns household routing. The serving
+	// listener must be bound first — its real address is what redirected
+	// nodes are told to dial.
+	l, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	var node *cluster.Node
+	var backend store.Backend
+	if o.peers != "" {
+		if o.peerAddr == "" {
+			l.Close()
+			return fmt.Errorf("-peers requires -peer-addr (this process's entry in the peer list)")
+		}
+		local, err := store.NewDirBackend(o.dir)
+		if err != nil {
+			l.Close()
+			return err
+		}
+		node, err = cluster.NewNode(cluster.NodeConfig{
+			PeerAddr: o.peerAddr,
+			NodeAddr: l.Addr().String(),
+			Peers:    strings.Split(o.peers, ","),
+			Replicas: o.replicas,
+			Local:    local,
+			Seed:     o.seed,
+		})
+		if err != nil {
+			l.Close()
+			return err
+		}
+		backend = node.Backend()
+	}
+
 	f, err := fleet.New(fleet.Config{
 		Shards:    o.shards,
 		Dir:       o.dir,
+		Backend:   backend,
 		Format:    format,
 		IdleEvict: o.evict,
 		OnLog:     func(msg string) { out.printf("%s\n", msg) },
@@ -142,22 +196,37 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
-	srv, err := fleet.NewServer(f, fleet.ServeConfig{
+	cfg := fleet.ServeConfig{
 		Speed:            o.speed,
 		CheckpointEvery:  o.checkpoint,
 		DefaultHousehold: o.defaultHousehold,
 		ReadTimeout:      o.readTimeout,
 		WriteTimeout:     o.writeTimeout,
 		OnLog:            func(msg string) { out.printf("%s\n", msg) },
-	})
+	}
+	if node != nil {
+		cfg.Route = node.Route
+		cfg.AfterFlush = func() {
+			if err := node.Sync(); err != nil {
+				out.printf("cluster: replication sync: %v\n", err)
+			}
+		}
+	}
+	srv, err := fleet.NewServer(f, cfg)
 	if err != nil {
+		l.Close()
 		return err
+	}
+	if node != nil {
+		node.AttachFleet(f)
+		if err := node.Start(); err != nil {
+			l.Close()
+			return err
+		}
+		out.printf("cluster: peer %s serving %d-way ring (replicas %d)\n",
+			o.peerAddr, len(strings.Split(o.peers, ",")), o.replicas)
 	}
 
-	l, err := net.Listen("tcp", o.addr)
-	if err != nil {
-		return err
-	}
 	out.printf("coreda-fleet: %s on %s (%d shards, mode %s, speed %gx, dir %s)\n",
 		activity.Name, l.Addr(), f.Shards(), mode, o.speed, o.dir)
 	// The explicit line matters with -addr :0, where the OS picks the
@@ -171,6 +240,14 @@ func run(o options) error {
 		<-sig
 		srv.Stop()
 		f.Stop() // final checkpoint of every household
+		if node != nil {
+			// Push the final checkpoints to the replica peers before the
+			// links close — a restart elsewhere must see them.
+			if err := node.Sync(); err != nil {
+				out.printf("cluster: final sync: %v\n", err)
+			}
+			node.Close()
+		}
 		st := f.Stats()
 		out.printf("fleet stopped: %d events, %d admissions (%d recovered), %d evictions, %d checkpoints\n",
 			st.Events, st.Admissions, st.Recovered, st.Evictions, st.Checkpoints)

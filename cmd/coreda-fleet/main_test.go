@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,6 +16,7 @@ import (
 
 	"coreda"
 	"coreda/internal/adl"
+	"coreda/internal/cluster"
 	"coreda/internal/rtbridge"
 	"coreda/internal/store"
 )
@@ -297,6 +301,122 @@ func TestFleetRecoversAfterSIGKILLDuringCheckpointChurn(t *testing.T) {
 	}
 	if err := cmd2.Wait(); err != nil {
 		t.Fatalf("restarted fleet exited uncleanly: %v\n%s", err, out2.String())
+	}
+}
+
+// freePort reserves an ephemeral port and releases it for a child
+// process to bind: cluster peers need their addresses known up front
+// (the address list IS the ring membership).
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// driveClusterSession is driveSession against a cluster: every tool
+// client enters at entry and follows redirects to the household's owner.
+func driveClusterSession(t *testing.T, entry, household string) {
+	t.Helper()
+	steps := coreda.TeaMaking().StepIDs()
+	nodes := map[adl.ToolID]*rtbridge.NodeClient{}
+	for _, step := range steps {
+		n, err := rtbridge.DialCluster(entry, household, uint16(adl.ToolOf(step)), nil, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Close()
+		nodes[adl.ToolOf(step)] = n
+	}
+	for _, step := range steps {
+		n := nodes[adl.ToolOf(step)]
+		if err := n.UseStart(time.Second, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.UseEnd(2*time.Second, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestFleetClusterRedirectsAndReplicates is the two-process cluster
+// acceptance test: nodes entering at the wrong peer are redirected to
+// the household's owner, a session completes there, and shutdown
+// replication leaves the owner's checkpoint on the other peer too.
+func TestFleetClusterRedirectsAndReplicates(t *testing.T) {
+	bin := buildFleet(t)
+	peers := []string{freePort(t), freePort(t)}
+	peerList := strings.Join(peers, ",")
+	dirs := []string{t.TempDir(), t.TempDir()}
+
+	var cmds [2]*exec.Cmd
+	var outs [2]*procOutput
+	addrs := make([]string, 2)
+	for i := range cmds {
+		cmds[i], outs[i] = startFleetProc(t, bin,
+			"-addr", "127.0.0.1:0", "-speed", "200", "-shards", "2",
+			"-dir", dirs[i], "-checkpoint", "-1s",
+			"-peers", peerList, "-peer-addr", peers[i], "-replicas", "2")
+		addrs[i] = awaitAddr(t, outs[i])
+		awaitOutput(t, outs[i], "cluster: peer "+peers[i])
+	}
+
+	// Find a household the second peer owns, so entering at the first
+	// forces a redirect.
+	ring := cluster.NewRing(peers)
+	household := ""
+	for i := 0; i < 64 && household == ""; i++ {
+		if h := fmt.Sprintf("cluster-h%d", i); ring.OwnerOf(h) == peers[1] {
+			household = h
+		}
+	}
+	if household == "" {
+		t.Fatal("no household hashed to the second peer")
+	}
+
+	// A bare HelloWait at the wrong peer must name the owner's
+	// node-facing address (not its peer address).
+	n, err := rtbridge.DialNode(addrs[0], uint16(adl.ToolTeaBox), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rd *rtbridge.Redirected
+	if err := n.HelloWait(household, 5*time.Second); !errors.As(err, &rd) || rd.Addr != addrs[1] {
+		t.Fatalf("HelloWait at wrong peer = %v, want redirect to %s", err, addrs[1])
+	}
+	n.Close()
+
+	driveClusterSession(t, addrs[0], household)
+	awaitOutput(t, outs[1], `activity "tea-making" completed`)
+
+	// SIGTERM the owner first: its shutdown sync must push the final
+	// checkpoint to the surviving replica peer before the link closes.
+	if err := cmds[1].Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmds[1].Wait(); err != nil {
+		t.Fatalf("owner exited uncleanly: %v\n%s", err, outs[1].String())
+	}
+	if err := cmds[0].Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmds[0].Wait(); err != nil {
+		t.Fatalf("peer exited uncleanly: %v\n%s", err, outs[0].String())
+	}
+
+	for i, dir := range dirs {
+		f, _, _, err := store.LoadMultiPolicy(filepath.Join(dir, household+".ckpt"))
+		if err != nil {
+			t.Fatalf("dir %d: checkpoint for %s: %v", i, household, err)
+		}
+		if f.User != household || f.Policies[0].Episodes < 1 {
+			t.Errorf("dir %d: checkpoint = %+v, want a learned episode", i, f)
+		}
 	}
 }
 

@@ -60,8 +60,15 @@ func TestAnalyzers(t *testing.T) {
 		{"shardaffinity", ShardAffinity, "shardaffinity", "coreda/internal/fleet", false, nil},
 		// The same fixture outside the shard-scoped packages is silent.
 		{"shardaffinity/out-of-scope", ShardAffinity, "shardaffinity", "coreda/internal/rtbridge", true, nil},
+		// The cluster package joined the shard scope with the peer ring:
+		// only (*Node).Start and its acceptLoop may spawn there.
+		{"shardaffinity/cluster-scoped", ShardAffinity, "shardaffinity_cluster", "coreda/internal/cluster", false, nil},
 		{"lockheld", LockHeld, "lockheld", "coreda/internal/rtbridge", false, nil},
 		{"lockheld/out-of-scope", LockHeld, "lockheld", "coreda/internal/stats", true, nil},
+		// The cluster package joined the lock-discipline scope with peer
+		// replication: no node mutex across peer socket I/O or the
+		// conn-checkout channel.
+		{"lockheld/cluster-scoped", LockHeld, "lockheld_cluster", "coreda/internal/cluster", false, nil},
 		// The store joined the lock-discipline scope with the backend
 		// refactor; inside it the blanket store-is-blocking rule defers to
 		// the same-package fixpoint.

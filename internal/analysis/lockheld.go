@@ -11,7 +11,7 @@ import (
 
 // LockHeld flags mutexes held across blocking operations on the serve
 // and checkpoint paths (internal/fleet, internal/rtbridge,
-// internal/store): I/O calls, channel operations, selects, and calls
+// internal/store, internal/cluster): I/O calls, channel operations, selects, and calls
 // into the store/wire writers. A lock
 // held across a socket write couples every goroutine contending for it
 // to the slowest peer's TCP window — the serve-path latency and deadlock
@@ -43,8 +43,15 @@ var LockHeld = &Analyzer{
 // lockScoped is where serve-path lock discipline applies. The store is
 // in scope because its backends sit directly on the fleet's checkpoint
 // hot path: a backend mutex held across a file syscall would serialize
-// every shard's eviction writebacks behind the disk.
-var lockScoped = []string{"coreda/internal/fleet", "coreda/internal/rtbridge", "coreda/internal/store"}
+// every shard's eviction writebacks behind the disk. The cluster
+// package is in scope because its peer links carry replication fan-out:
+// a node mutex held across a peer socket write would couple every
+// household's flush to the slowest replica's TCP window (peer-conn
+// exclusivity uses a capacity-1 channel checkout instead).
+var lockScoped = []string{
+	"coreda/internal/fleet", "coreda/internal/rtbridge",
+	"coreda/internal/store", "coreda/internal/cluster",
+}
 
 // lockBlockingNames maps package path → function/method names treated as
 // blocking. Deadline setters and Close are deliberately absent: they are
@@ -171,7 +178,12 @@ func (w *lockWalker) stmt(s ast.Stmt) {
 		w.expr(s.Chan)
 		w.expr(s.Value)
 	case *ast.SelectStmt:
-		w.report(s.Pos(), "select")
+		// A select with a default clause never blocks: it is the
+		// sanctioned try-receive/try-send shape (e.g. draining a stale
+		// verdict under the write mutex).
+		if !hasDefaultClause(s) {
+			w.report(s.Pos(), "select")
+		}
 		w.stmt(s.Body)
 	case *ast.AssignStmt:
 		for _, e := range s.Rhs {
@@ -326,6 +338,9 @@ func blockingDesc(pass *Pass, n ast.Node, blocking map[*types.Func]bool) string 
 	case *ast.SendStmt:
 		return "channel send"
 	case *ast.SelectStmt:
+		if hasDefaultClause(n) {
+			return ""
+		}
 		return "select"
 	case *ast.CallExpr:
 		fn := calleeFunc(pass, n)
@@ -349,6 +364,17 @@ func blockingDesc(pass *Pass, n ast.Node, blocking map[*types.Func]bool) string 
 		}
 	}
 	return ""
+}
+
+// hasDefaultClause reports whether a select carries a default case —
+// the non-blocking try shape.
+func hasDefaultClause(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
 }
 
 // calleeFunc resolves a call's target to a *types.Func (method, package

@@ -8,12 +8,14 @@ import (
 // ShardAffinity enforces internal/fleet's ownership model: a Tenant (and
 // everything hanging off it — Hub, System, scheduler) belongs to exactly
 // one shard event loop and must never be reached from another goroutine.
-// Three rules, scoped to the fleet package:
+// Three rules, scoped to the fleet and cluster packages:
 //
 //  1. Goroutines may only be spawned by the sanctioned lifecycle points
-//     (*Fleet).Start (the shard loops) and (*Server).Serve (per-conn
-//     handlers). A `go` statement anywhere else — a shard drain, a flush,
-//     a handler — is a handoff the ownership model cannot see.
+//     (*Fleet).Start (the shard loops), (*Server).Serve (per-conn
+//     handlers), and — in internal/cluster — (*Node).Start plus its
+//     acceptLoop (the peer listener and its per-conn handlers). A `go`
+//     statement anywhere else — a shard drain, a flush, a handler — is a
+//     handoff the ownership model cannot see.
 //  2. No goroutine launch may capture or receive a *Tenant.
 //  3. Inside a parrun.Map worker closure, the only sanctioned tenant
 //     access is a direct `<tenant-expr>.save(saver, fsync)` call — the
@@ -30,8 +32,11 @@ var ShardAffinity = &Analyzer{
 	Run:        runShardAffinity,
 }
 
-// shardScoped is where the tenant-ownership model applies.
-var shardScoped = []string{"coreda/internal/fleet"}
+// shardScoped is where the tenant-ownership model applies. The cluster
+// package is in scope because its peer handlers sit next to the fleet's
+// tenants: a stray goroutine there could reach shard state through the
+// replication or handoff hooks.
+var shardScoped = []string{"coreda/internal/fleet", "coreda/internal/cluster"}
 
 const parrunPath = "coreda/internal/parrun"
 
@@ -74,12 +79,16 @@ func runShardAffinity(pass *Pass) {
 	}
 }
 
-// sanctionedSpawner reports whether fd is one of the two lifecycle
-// methods allowed to start goroutines.
+// sanctionedSpawner reports whether fd is one of the lifecycle methods
+// allowed to start goroutines: the fleet's shard-loop launch and
+// per-conn serve, and the cluster node's peer accept loop (Start spawns
+// acceptLoop, acceptLoop spawns one serveConn per peer link).
 func sanctionedSpawner(fd *ast.FuncDecl) bool {
 	recv := recvTypeName(fd)
 	return fd.Name.Name == "Start" && recv == "Fleet" ||
-		fd.Name.Name == "Serve" && recv == "Server"
+		fd.Name.Name == "Serve" && recv == "Server" ||
+		fd.Name.Name == "Start" && recv == "Node" ||
+		fd.Name.Name == "acceptLoop" && recv == "Node"
 }
 
 func recvTypeName(fd *ast.FuncDecl) string {

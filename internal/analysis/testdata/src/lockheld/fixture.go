@@ -90,6 +90,18 @@ func (nc *conn) selectLocked() {
 	select { // want `nc\.mu held across select`
 	case v := <-nc.ch:
 		_ = v
+	case nc.ch <- 0:
+	}
+	nc.mu.Unlock()
+}
+
+// tryDrainLocked: a select with a default clause never blocks — the
+// sanctioned try-receive shape is allowed under the lock.
+func (nc *conn) tryDrainLocked() {
+	nc.mu.Lock()
+	select {
+	case v := <-nc.ch:
+		_ = v
 	default:
 	}
 	nc.mu.Unlock()

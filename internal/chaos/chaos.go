@@ -46,6 +46,33 @@ type NodeEvent struct {
 	Amount float64 `json:"amount,omitempty"`
 }
 
+// ProcOp is a scheduled whole-process operation in a cluster soak.
+type ProcOp string
+
+// Process operations.
+const (
+	// OpSigkill kills the worker process without warning — no drain, no
+	// final checkpoint; recovery must come from peer replicas.
+	OpSigkill ProcOp = "sigkill"
+)
+
+// ProcEvent schedules one whole-process fault. Unlike NodeEvents, which
+// fire on the virtual clock inside one process, process faults are
+// placed on the cluster soak's round timeline: the driver executes them
+// between delivering rounds, which is what keeps a multi-process run
+// replayable (the kill lands at a deterministic point of the event
+// sequence, not at a wall-clock instant).
+type ProcEvent struct {
+	// Round is the soak round (0-based session index) the fault fires
+	// in: the process is killed after the round's events are delivered
+	// to it but before the round's replication barrier completes.
+	Round int `json:"round"`
+	// Proc is the worker index (position in the driver's peer list).
+	Proc int `json:"proc"`
+	// Op is what happens.
+	Op ProcOp `json:"op"`
+}
+
 // Window is a half-open virtual-time interval [From, To).
 type Window struct {
 	From time.Duration `json:"from"`
@@ -78,6 +105,9 @@ type Plan struct {
 	Stalls []Window `json:"stalls,omitempty"`
 	// Nodes are scheduled crash/reboot/drain events.
 	Nodes []NodeEvent `json:"nodes,omitempty"`
+	// Procs are scheduled whole-process faults, executed by the cluster
+	// soak driver (the in-process Injector ignores them).
+	Procs []ProcEvent `json:"procs,omitempty"`
 }
 
 // Validate rejects plans that cannot be executed faithfully.
@@ -107,6 +137,17 @@ func (p *Plan) Validate() error {
 		}
 		if e.At < 0 {
 			return fmt.Errorf("chaos: node event %d scheduled at %v", i, e.At)
+		}
+	}
+	for i, e := range p.Procs {
+		if e.Op != OpSigkill {
+			return fmt.Errorf("chaos: proc event %d has unknown op %q", i, e.Op)
+		}
+		if e.Round < 0 {
+			return fmt.Errorf("chaos: proc event %d scheduled in round %d", i, e.Round)
+		}
+		if e.Proc < 0 {
+			return fmt.Errorf("chaos: proc event %d targets process %d", i, e.Proc)
 		}
 	}
 	return nil

@@ -1,0 +1,220 @@
+package cluster
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"coreda/internal/store"
+)
+
+// SendFunc pushes one checkpoint blob to one peer (addr). The node
+// wires this to peer.Replicate; tests inject failures per peer.
+type SendFunc func(addr, name string, blob []byte, fsync bool) error
+
+// RouteFunc names the replica peers for a household. The node wires
+// this to Ring.ReplicasOf minus itself, so it tracks membership changes
+// without the backend holding a ring.
+type RouteFunc func(name string) []string
+
+// ReplicaStats counts replication outcomes (read under the backend's
+// own lock via Stats).
+type ReplicaStats struct {
+	Replicated int // blob-to-peer pushes that succeeded
+	Failed     int // pushes that exhausted retries this Sync
+	Degraded   int // pushes deferred to a later Sync and then recovered
+}
+
+// ReplicatingBackend wraps a local store.Backend and mirrors its writes
+// to the household's replica peers. Writes land locally immediately;
+// replication happens at Sync barriers, not per write. That batching is
+// not (only) a throughput choice — it is what makes kill-a-process
+// recovery deterministic: replicas hold exactly the barrier-k state, so
+// a survivor adopting a tenant restores a known round boundary and the
+// driver replays the following round in full (DESIGN.md §15).
+//
+// A peer that stays down does not stall the barrier: after the retry
+// policy is exhausted the push is recorded as pending (degraded mode)
+// and retried at every later Sync until it lands or the peer leaves the
+// ring.
+type ReplicatingBackend struct {
+	store.Backend // local writes and all reads
+
+	send  SendFunc
+	route RouteFunc
+
+	mu    sync.Mutex
+	dirty map[string]bool // names written since the last Sync
+	// pending[addr][name]: pushes that exhausted retries, owed to the
+	// peer at the next barrier.
+	pending map[string]map[string]bool
+	stats   ReplicaStats
+}
+
+// NewReplicatingBackend wraps local so every Put/PutStream-Commit is
+// queued for replication to route(name) at the next Sync via send.
+func NewReplicatingBackend(local store.Backend, route RouteFunc, send SendFunc) *ReplicatingBackend {
+	return &ReplicatingBackend{
+		Backend: local,
+		send:    send,
+		route:   route,
+		dirty:   make(map[string]bool),
+		pending: make(map[string]map[string]bool),
+	}
+}
+
+// Put writes locally and marks the name dirty for the next Sync.
+func (rb *ReplicatingBackend) Put(name string, data []byte, fsync bool) error {
+	if err := rb.Backend.Put(name, data, fsync); err != nil {
+		return err
+	}
+	rb.markDirty(name)
+	return nil
+}
+
+// PutStream writes locally; the name becomes dirty when the stream
+// commits (an aborted stream replicates nothing).
+func (rb *ReplicatingBackend) PutStream(name string, fsync bool) (store.BlobWriter, error) {
+	w, err := rb.Backend.PutStream(name, fsync)
+	if err != nil {
+		return nil, err
+	}
+	return &replicaWriter{BlobWriter: w, rb: rb, name: name}, nil
+}
+
+type replicaWriter struct {
+	store.BlobWriter
+	rb   *ReplicatingBackend
+	name string
+	done bool
+}
+
+func (w *replicaWriter) Commit() error {
+	if err := w.BlobWriter.Commit(); err != nil {
+		return err
+	}
+	if !w.done {
+		w.done = true
+		w.rb.markDirty(w.name)
+	}
+	return nil
+}
+
+func (rb *ReplicatingBackend) markDirty(name string) {
+	rb.mu.Lock()
+	rb.dirty[name] = true
+	rb.mu.Unlock()
+}
+
+// Stats returns a snapshot of the replication counters.
+func (rb *ReplicatingBackend) Stats() ReplicaStats {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return rb.stats
+}
+
+// Pending reports how many (peer, name) pushes are owed from failed
+// replication — non-zero means the backend is running degraded.
+func (rb *ReplicatingBackend) Pending() int {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	n := 0
+	for _, names := range rb.pending {
+		n += len(names)
+	}
+	return n
+}
+
+// Sync replicates every blob written since the last barrier (plus any
+// pushes still owed from earlier degraded barriers) to its replica
+// peers. Pushes to distinct peers run in a deterministic order (sorted
+// names, then each name's route order) because the soak digests depend
+// on replica state at the kill point.
+//
+// A push that fails (send exhausted its retries) is recorded as pending
+// and does not fail the barrier; Sync returns an error only when the
+// local blob cannot be read back.
+func (rb *ReplicatingBackend) Sync() error {
+	// Snapshot and clear the dirty set; merge in owed pushes.
+	rb.mu.Lock()
+	work := make(map[string]map[string]bool) // name -> peer set (nil = use route)
+	for name := range rb.dirty {
+		work[name] = nil
+	}
+	rb.dirty = make(map[string]bool)
+	for addr, names := range rb.pending {
+		for name := range names {
+			if work[name] == nil {
+				work[name] = make(map[string]bool)
+			}
+			work[name][addr] = true
+		}
+	}
+	rb.pending = make(map[string]map[string]bool)
+	rb.mu.Unlock()
+
+	names := make([]string, 0, len(work))
+	for name := range work {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var firstErr error
+	for _, name := range names {
+		blob, err := rb.Backend.Get(name, nil)
+		if err != nil {
+			// Local read failure is a real barrier error: the blob was
+			// written this round and must be readable.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: replicate %s: local read: %w", name, err)
+			}
+			continue
+		}
+		peers := rb.route(name)
+		extra := work[name]
+		for addr := range extra {
+			if !contains(peers, addr) {
+				peers = append(peers, addr)
+			}
+		}
+		for _, addr := range peers {
+			owed := extra[addr]
+			if err := rb.send(addr, name, blob, true); err != nil {
+				rb.mu.Lock()
+				if rb.pending[addr] == nil {
+					rb.pending[addr] = make(map[string]bool)
+				}
+				rb.pending[addr][name] = true
+				rb.stats.Failed++
+				rb.mu.Unlock()
+				log.Printf("cluster: replica push %s -> %s failed, degraded: %v", name, addr, err)
+				continue
+			}
+			rb.mu.Lock()
+			rb.stats.Replicated++
+			if owed {
+				rb.stats.Degraded++
+			}
+			rb.mu.Unlock()
+		}
+	}
+	return firstErr
+}
+
+// DropPeer forgets pushes owed to a peer that left the ring (its
+// replicas are obsolete; the new ring routes fresh pushes elsewhere).
+func (rb *ReplicatingBackend) DropPeer(addr string) {
+	rb.mu.Lock()
+	delete(rb.pending, addr)
+	rb.mu.Unlock()
+}
+
+func contains(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"os"
+	"testing"
+
+	"coreda/internal/chaos"
+	"coreda/internal/fleet"
+)
+
+// TestMain lets the test binary double as the soak worker: RunSoak
+// re-execs os.Executable(), and MaybeWorker intercepts the child before
+// any test runs.
+func TestMain(m *testing.M) {
+	MaybeWorker()
+	os.Exit(m.Run())
+}
+
+const (
+	soakSeed       = 42
+	soakHouseholds = 12
+	soakSessions   = 6
+)
+
+// baselineDigest runs the fault-free single-process soak the cluster
+// digests must match byte for byte.
+func baselineDigest(t *testing.T) string {
+	t.Helper()
+	res, err := fleet.Soak(fleet.SoakConfig{
+		Seed:       soakSeed,
+		Households: soakHouseholds,
+		Sessions:   soakSessions,
+		Shards:     2,
+		Dir:        t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Digest
+}
+
+// TestClusterSoakMatchesSingleProcess: 3 processes, no faults — the
+// partitioned run must reproduce the single-process digest exactly.
+func TestClusterSoakMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process soak")
+	}
+	want := baselineDigest(t)
+	out, err := RunSoak(SoakSpec{
+		Procs:      3,
+		Replicas:   2,
+		Households: soakHouseholds,
+		Sessions:   soakSessions,
+		Seed:       soakSeed,
+		Dir:        t.TempDir(),
+		OnLog:      func(s string) { t.Log(s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Digest != want {
+		t.Fatalf("cluster digest %s != single-process %s", out.Digest, want)
+	}
+	if out.Events == 0 {
+		t.Fatal("soak delivered no events")
+	}
+}
+
+// TestClusterSoakSurvivesSigkill is the headline invariant: SIGKILL one
+// worker mid-run (after it applied a round locally, before its
+// replication barrier), survivors adopt its households from replicas
+// and replay the round — and the final digest is byte-identical to the
+// fault-free single-process run.
+func TestClusterSoakSurvivesSigkill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process soak")
+	}
+	want := baselineDigest(t)
+	out, err := RunSoak(SoakSpec{
+		Procs:      3,
+		Replicas:   2,
+		Households: soakHouseholds,
+		Sessions:   soakSessions,
+		Seed:       soakSeed,
+		Dir:        t.TempDir(),
+		Plan: &chaos.Plan{Procs: []chaos.ProcEvent{
+			{Round: 3, Proc: 1, Op: chaos.OpSigkill},
+		}},
+		OnLog: func(s string) { t.Log(s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Killed) != 1 || out.Killed[0] != 1 {
+		t.Fatalf("Killed = %v, want [1]", out.Killed)
+	}
+	if out.Digest != want {
+		t.Fatalf("post-kill digest %s != fault-free %s", out.Digest, want)
+	}
+}

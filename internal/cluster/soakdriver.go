@@ -1,0 +1,342 @@
+// Cluster soak: driver half. RunSoak spawns N workers (re-execs of the
+// current binary, see MaybeWorker), partitions the household ring
+// between them with the same rendezvous Ring the workers use, delivers
+// the soak session by session as rounds, executes the chaos plan's
+// whole-process kills between barriers, and combines the survivors'
+// checkpoint hashes into the one digest comparable with fleet.Soak.
+package cluster
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+
+	"coreda/internal/chaos"
+	"coreda/internal/fleet"
+)
+
+// SoakSpec parameterizes a multi-process cluster soak.
+type SoakSpec struct {
+	// Procs is the number of worker processes. Zero means 3.
+	Procs int
+	// Replicas is each checkpoint's replica count K. Zero means 2.
+	Replicas int
+	// Households and Sessions shape the soak exactly as
+	// fleet.SoakConfig does (zero: 64 households, 6 sessions).
+	Households int
+	Sessions   int
+	// Seed drives household behaviour; same seed + same spec = same
+	// digest, with or without kills.
+	Seed int64
+	// Shards is each worker fleet's shard count. Zero means 2.
+	Shards int
+	// Dir is the scratch root; each worker checkpoints under
+	// Dir/worker<i>. It should start empty.
+	Dir string
+	// Plan optionally schedules whole-process faults (Plan.Procs); nil
+	// or empty runs fault-free. Frame-level dimensions are ignored
+	// here — they belong to the in-process injector.
+	Plan *chaos.Plan
+	// OnLog receives driver progress lines (may be nil).
+	OnLog func(string)
+}
+
+// SoakOutcome is what a cluster soak produced.
+type SoakOutcome struct {
+	Procs  int
+	Events int
+	// Killed lists the worker indices SIGKILLed by the plan.
+	Killed []int
+	// Adopted lists households that changed owner through kill
+	// recovery (sorted by the workers' reply order).
+	Adopted []string
+	// Digest is the combined per-household policy digest —
+	// byte-comparable with fleet.SoakResult.Digest.
+	Digest string
+}
+
+// soakWorker is the driver's handle on one worker process.
+type soakWorker struct {
+	idx   int
+	cmd   *exec.Cmd
+	in    io.WriteCloser
+	out   *bufio.Scanner
+	addr  string
+	alive bool
+}
+
+func (w *soakWorker) call(cmd workerCmd) (workerReply, error) {
+	b, err := json.Marshal(cmd)
+	if err != nil {
+		return workerReply{}, err
+	}
+	if _, err := w.in.Write(append(b, '\n')); err != nil {
+		return workerReply{}, fmt.Errorf("worker %d: write %s: %w", w.idx, cmd.Cmd, err)
+	}
+	return w.reply(cmd.Cmd)
+}
+
+func (w *soakWorker) reply(what string) (workerReply, error) {
+	if !w.out.Scan() {
+		err := w.out.Err()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
+		return workerReply{}, fmt.Errorf("worker %d: awaiting %s reply: %w", w.idx, what, err)
+	}
+	var r workerReply
+	if err := json.Unmarshal(w.out.Bytes(), &r); err != nil {
+		return workerReply{}, fmt.Errorf("worker %d: bad %s reply %q: %w", w.idx, what, w.out.Text(), err)
+	}
+	if !r.OK {
+		return r, fmt.Errorf("worker %d: %s failed: %s", w.idx, what, r.Err)
+	}
+	return r, nil
+}
+
+// RunSoak executes the cluster soak and returns the combined outcome.
+func RunSoak(spec SoakSpec) (SoakOutcome, error) {
+	if spec.Procs <= 0 {
+		spec.Procs = 3
+	}
+	if spec.Replicas <= 0 {
+		spec.Replicas = 2
+	}
+	if spec.Households <= 0 {
+		spec.Households = 64
+	}
+	if spec.Sessions <= 0 {
+		spec.Sessions = 6
+	}
+	if spec.Shards <= 0 {
+		spec.Shards = 2
+	}
+	if spec.Dir == "" {
+		return SoakOutcome{}, fmt.Errorf("cluster: SoakSpec.Dir is required")
+	}
+	if spec.Plan != nil {
+		if err := spec.Plan.Validate(); err != nil {
+			return SoakOutcome{}, err
+		}
+	}
+	logf := func(format string, args ...any) {
+		if spec.OnLog != nil {
+			spec.OnLog(fmt.Sprintf(format, args...))
+		}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		return SoakOutcome{}, err
+	}
+	workers := make([]*soakWorker, spec.Procs)
+	defer func() {
+		for _, w := range workers {
+			if w != nil && w.alive {
+				w.in.Close()
+				w.cmd.Process.Kill()
+				w.cmd.Wait()
+			}
+		}
+	}()
+	for i := range workers {
+		dir := filepath.Join(spec.Dir, fmt.Sprintf("worker%d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return SoakOutcome{}, err
+		}
+		c := exec.Command(self)
+		c.Env = append(os.Environ(),
+			WorkerEnv+"="+strconv.Itoa(i),
+			envSeed+"="+strconv.FormatInt(spec.Seed, 10),
+			envDir+"="+dir,
+			envShards+"="+strconv.Itoa(spec.Shards),
+			envReplicas+"="+strconv.Itoa(spec.Replicas),
+			envSessions+"="+strconv.Itoa(spec.Sessions),
+		)
+		c.Stderr = os.Stderr
+		in, err := c.StdinPipe()
+		if err != nil {
+			return SoakOutcome{}, err
+		}
+		outPipe, err := c.StdoutPipe()
+		if err != nil {
+			return SoakOutcome{}, err
+		}
+		if err := c.Start(); err != nil {
+			return SoakOutcome{}, fmt.Errorf("cluster: spawn worker %d: %w", i, err)
+		}
+		sc := bufio.NewScanner(outPipe)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		w := &soakWorker{idx: i, cmd: c, in: in, out: sc, alive: true}
+		banner, err := w.reply("banner")
+		if err != nil {
+			return SoakOutcome{}, err
+		}
+		w.addr = banner.Addr
+		workers[i] = w
+		logf("worker %d up at %s (dir %s)", i, w.addr, dir)
+	}
+
+	peers := make([]string, len(workers))
+	for i, w := range workers {
+		peers[i] = w.addr
+	}
+	for _, w := range workers {
+		if _, err := w.call(workerCmd{Cmd: "peers", Peers: peers}); err != nil {
+			return SoakOutcome{}, err
+		}
+	}
+
+	// The driver's ring mirrors the workers' exactly: same peer set,
+	// same rendezvous function — the oracle and the members always
+	// agree on ownership.
+	ring := NewRing(peers)
+	byAddr := func(addr string) *soakWorker {
+		for _, w := range workers {
+			if w.addr == addr {
+				return w
+			}
+		}
+		return nil
+	}
+	households := make([]string, spec.Households)
+	for i := range households {
+		households[i] = fleet.SoakHousehold(i)
+	}
+	assign := func() map[*soakWorker][]string {
+		m := make(map[*soakWorker][]string)
+		for _, h := range households {
+			w := byAddr(ring.OwnerOf(h))
+			if w == nil || !w.alive {
+				continue
+			}
+			m[w] = append(m[w], h)
+		}
+		return m
+	}
+	kills := make(map[int]int) // round -> worker index
+	if spec.Plan != nil {
+		for _, pe := range spec.Plan.Procs {
+			kills[pe.Round] = pe.Proc
+		}
+	}
+
+	out := SoakOutcome{Procs: spec.Procs}
+	for round := 0; round < spec.Sessions; round++ {
+		victimIdx, kill := kills[round]
+		var victim *soakWorker
+		if kill && victimIdx < len(workers) && workers[victimIdx].alive {
+			victim = workers[victimIdx]
+		}
+		owned := assign()
+		// Deliver the round everywhere. The victim is told to skip the
+		// replication barrier: its checkpoints land locally and are
+		// then lost with the process — exactly a SIGKILL mid-barrier.
+		for _, w := range workers {
+			if !w.alive || len(owned[w]) == 0 {
+				continue
+			}
+			r, err := w.call(workerCmd{Cmd: "round", Round: round, Households: owned[w], Sync: w != victim})
+			if err != nil {
+				return out, err
+			}
+			out.Events += r.Events
+		}
+		if victim == nil {
+			continue
+		}
+		// SIGKILL: no drain, no goodbye. The dead worker's directory
+		// is abandoned; recovery must come from the survivors' replica
+		// blobs, which hold round-1 state for the victim's households.
+		victimHouseholds := owned[victim]
+		if err := victim.cmd.Process.Kill(); err != nil {
+			return out, fmt.Errorf("cluster: kill worker %d: %w", victim.idx, err)
+		}
+		victim.cmd.Wait()
+		victim.alive = false
+		victim.in.Close()
+		out.Killed = append(out.Killed, victim.idx)
+		logf("round %d: SIGKILLed worker %d (%d households orphaned)", round, victim.idx, len(victimHouseholds))
+
+		alive := make([]string, 0, len(peers))
+		for _, w := range workers {
+			if w.alive {
+				alive = append(alive, w.addr)
+			}
+		}
+		ring = NewRing(alive)
+		for _, w := range workers {
+			if !w.alive {
+				continue
+			}
+			r, err := w.call(workerCmd{Cmd: "remove", Peer: victim.addr})
+			if err != nil {
+				return out, err
+			}
+			out.Adopted = append(out.Adopted, r.Adopted...)
+		}
+		// Redeliver the killed round for every orphaned household to
+		// its new owner: the adopter restored barrier round-1 state
+		// from its replica blob (or starts fresh if the household had
+		// never reached a barrier), so replaying the full round lands
+		// it on exactly the fault-free state. The victim's own partial
+		// work is discarded with its directory — replay, not resume.
+		redo := make(map[*soakWorker][]string)
+		for _, h := range victimHouseholds {
+			w := byAddr(ring.OwnerOf(h))
+			if w == nil || !w.alive {
+				return out, fmt.Errorf("cluster: household %s unowned after kill", h)
+			}
+			redo[w] = append(redo[w], h)
+		}
+		for w, hs := range redo {
+			if _, err := w.call(workerCmd{Cmd: "round", Round: round, Households: hs, Sync: true}); err != nil {
+				return out, err
+			}
+		}
+		logf("round %d: survivors adopted and replayed %d households", round, len(victimHouseholds))
+	}
+
+	// Combine: each household's canonical sum read from its final
+	// owner, folded in sorted order — the same formula fleet.Digest
+	// uses, so the two are byte-comparable.
+	sums := make(map[string][32]byte, len(households))
+	for w, hs := range assign() {
+		r, err := w.call(workerCmd{Cmd: "sums", Households: hs})
+		if err != nil {
+			return out, err
+		}
+		for name, hexSum := range r.Sums {
+			b, err := hex.DecodeString(hexSum)
+			if err != nil || len(b) != 32 {
+				return out, fmt.Errorf("cluster: worker %d: bad sum for %s", w.idx, name)
+			}
+			var s [32]byte
+			copy(s[:], b)
+			sums[name] = s
+		}
+	}
+	if len(sums) != len(households) {
+		return out, fmt.Errorf("cluster: digest covers %d of %d households", len(sums), len(households))
+	}
+	out.Digest = fleet.CombineDigest(sums)
+
+	for _, w := range workers {
+		if !w.alive {
+			continue
+		}
+		if _, err := w.call(workerCmd{Cmd: "stop"}); err != nil {
+			return out, err
+		}
+		w.in.Close()
+		w.cmd.Wait()
+		w.alive = false
+	}
+	return out, nil
+}

@@ -333,6 +333,72 @@ func (f *Fleet) Do(household string, fn func(*Tenant) error) error {
 	return <-res
 }
 
+// MarkKnown records that a checkpoint blob for household now exists in
+// the backend, without admitting the tenant. The cluster layer calls it
+// when a replica or handoff blob arrives out-of-band (written to the
+// backend by the peer link, not by this fleet), so a later admission
+// restores from the blob instead of starting fresh.
+func (f *Fleet) MarkKnown(household string) error {
+	if !ValidHousehold(household) {
+		return fmt.Errorf("fleet: invalid household ID %q", household)
+	}
+	if f.state.Load() != fleetStarted {
+		return fmt.Errorf("fleet: not running")
+	}
+	res := make(chan struct{})
+	f.shards[ShardOf(household, len(f.shards))].in <- msg{fn: func(s *shard) {
+		s.known[household] = true
+		close(res)
+	}}
+	<-res
+	return nil
+}
+
+// EvictNow checkpoints and releases one resident tenant immediately —
+// the sending half of a cluster handoff, which must flush the tenant's
+// final state to the backend before shipping the blob to the new owner.
+// A household that is not resident is a no-op (its checkpoint, if any,
+// is already on disk).
+func (f *Fleet) EvictNow(household string) error {
+	if !ValidHousehold(household) {
+		return fmt.Errorf("fleet: invalid household ID %q", household)
+	}
+	if f.state.Load() != fleetStarted {
+		return fmt.Errorf("fleet: not running")
+	}
+	res := make(chan error, 1)
+	f.shards[ShardOf(household, len(f.shards))].in <- msg{fn: func(s *shard) {
+		res <- s.evictNow(household)
+	}}
+	return <-res
+}
+
+// evictNow force-evicts one household on the loop goroutine, fsyncing
+// its final checkpoint. A pending queued eviction write is completed
+// first, so the on-disk blob is the tenant's final state either way.
+func (s *shard) evictNow(household string) error {
+	if len(s.evictq) > 0 {
+		s.writebackEvicted(household)
+	}
+	t, ok := s.tenants[household]
+	if !ok {
+		return nil
+	}
+	if err := t.save(s.f.backend, &s.saver, true); err != nil {
+		return err
+	}
+	delete(s.dirty, household)
+	s.known[household] = true
+	s.stats.Checkpoints++
+	delete(s.tenants, household)
+	if s.lastT == t {
+		s.lastID, s.lastT = "", nil
+	}
+	s.stats.Evictions++
+	s.f.log("shard %d: evicted %s (handoff)", s.idx, household)
+	return nil
+}
+
 // barrier runs fn on every shard loop and waits for all of them.
 func (f *Fleet) barrier(fn func(*shard)) {
 	var wg sync.WaitGroup

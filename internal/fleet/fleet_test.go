@@ -225,3 +225,88 @@ func TestNewValidation(t *testing.T) {
 		t.Error("missing NewSystem accepted")
 	}
 }
+
+func TestEvictNowCheckpointsAndReleases(t *testing.T) {
+	dir := t.TempDir()
+	f, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+	deliverSession(t, f, "handoff-src", 0)
+
+	if err := f.EvictNow("handoff-src"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "handoff-src.ckpt")); err != nil {
+		t.Fatalf("EvictNow wrote no checkpoint: %v", err)
+	}
+	st := f.Stats()
+	if st.Evictions != 1 || st.Resident != 0 || st.Checkpoints != 1 {
+		t.Errorf("after EvictNow: stats = %+v", st)
+	}
+	// Evicting a household that is not resident is a no-op.
+	if err := f.EvictNow("never-admitted"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-admission restores the checkpointed learning.
+	var episodes int
+	if err := f.Do("handoff-src", func(tn *Tenant) error {
+		episodes = tn.System.Planner().Episodes
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if episodes != 1 {
+		t.Errorf("episodes after EvictNow + re-admit = %d, want 1", episodes)
+	}
+}
+
+func TestMarkKnownAdmitsFromForeignBlob(t *testing.T) {
+	dir := t.TempDir()
+
+	// First fleet learns one session and checkpoints it.
+	f1, err := New(testConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1.Start()
+	deliverSession(t, f1, "migrant", 0)
+	f1.Stop()
+
+	// Second fleet starts over an empty dir; the blob "arrives" later,
+	// out-of-band (as a cluster replica write would), so the fleet's
+	// known-checkpoint set does not include it.
+	dir2 := t.TempDir()
+	f2, err := New(testConfig(dir2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Start()
+	defer f2.Stop()
+	blob, err := os.ReadFile(filepath.Join(dir, "migrant.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir2, "migrant.ckpt"), blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.MarkKnown("migrant"); err != nil {
+		t.Fatal(err)
+	}
+	var episodes int
+	if err := f2.Do("migrant", func(tn *Tenant) error {
+		episodes = tn.System.Planner().Episodes
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if episodes != 1 {
+		t.Errorf("episodes after MarkKnown admission = %d, want 1 (blob not restored)", episodes)
+	}
+	st := f2.Stats()
+	if st.Recovered != 1 {
+		t.Errorf("stats = %+v, want Recovered 1", st)
+	}
+}

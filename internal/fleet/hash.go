@@ -17,6 +17,23 @@ func ShardOf(household string, n int) int {
 	return int(h.Sum32() % uint32(n))
 }
 
+// Slots is the size of the household ring a cluster divides between its
+// peer processes: every household hashes onto one of Slots ring slots
+// (SlotOf), and internal/cluster assigns each slot an owner and replica
+// set by rendezvous hashing. 64 slots keeps ownership tables and
+// RangeClaim traffic tiny while still splitting evenly across the
+// single-digit peer counts a cluster runs.
+const Slots = 64
+
+// SlotOf maps a household ID onto its ring slot. Like ShardOf the
+// mapping depends only on the ID, so every peer of a cluster computes
+// the same slot — and therefore the same owner — for a household.
+func SlotOf(household string) int {
+	h := fnv.New32a()
+	h.Write([]byte(household))
+	return int(h.Sum32() % Slots)
+}
+
 // SeedFor derives a per-household planner seed from a base seed, so each
 // tenant explores on its own independent random stream while the whole
 // fleet stays reproducible from the one base seed.

@@ -29,6 +29,16 @@ type ServeConfig struct {
 	// a hello — version-0 nodes predating the household handshake. Empty
 	// means such traffic is dropped (logged once per connection).
 	DefaultHousehold string
+	// Route, when non-nil, decides household placement in a cluster: it
+	// returns the owning peer's node-facing address and whether that is
+	// this process. A hello for a household owned elsewhere is answered
+	// with a wire.Redirect naming addr instead of being registered. Nil
+	// means every household is local (single-process fleet).
+	Route func(household string) (addr string, local bool)
+	// AfterFlush, when non-nil, runs after each periodic batch
+	// checkpoint flush in Run — the cluster layer's hook to fan the
+	// freshly written checkpoints out to replica peers.
+	AfterFlush func()
 	// ReadTimeout, when positive, bounds each frame read so a node that
 	// vanishes without a FIN cannot leak its reader goroutine.
 	ReadTimeout time.Duration
@@ -157,6 +167,9 @@ func (srv *Server) Run() {
 				if sinceFlush >= srv.cfg.CheckpointEvery {
 					sinceFlush = 0
 					srv.f.Flush()
+					if srv.cfg.AfterFlush != nil {
+						srv.cfg.AfterFlush()
+					}
 				}
 			}
 		}
@@ -249,6 +262,19 @@ func (srv *Server) handlePacket(nc *fleetConn, f *wire.Frame) {
 		if !ValidHousehold(pkt.Household) {
 			srv.log("conn %s: hello with invalid household %q", nc.c.RemoteAddr(), pkt.Household)
 			return
+		}
+		if srv.cfg.Route != nil {
+			if addr, local := srv.cfg.Route(pkt.Household); !local {
+				// Not ours: point the node at the owning peer. The
+				// connection's household stays unset, so any traffic the
+				// node sends before reconnecting is dropped, not
+				// misdelivered into a tenant this process must not own.
+				if err := nc.write(&wire.Redirect{Seq: pkt.Seq, Addr: addr}); err != nil {
+					srv.log("redirect %s to %s: %v", pkt.Household, addr, err)
+				}
+				srv.log("%7.1fs node %d household %s redirected to %s", now.Seconds(), pkt.UID, pkt.Household, addr)
+				return
+			}
 		}
 		nc.mu.Lock()
 		nc.household = pkt.Household

@@ -209,3 +209,44 @@ func TestServeLEDWriteBack(t *testing.T) {
 		}
 	}
 }
+
+// TestServeRedirectsForeignHousehold pins cluster routing: a hello for a
+// household the Route hook places elsewhere is answered with a Redirect
+// naming the owner, and the connection stays unbound — traffic on it is
+// not misdelivered into a local tenant.
+func TestServeRedirectsForeignHousehold(t *testing.T) {
+	route := func(household string) (string, bool) {
+		if household == "foreign" {
+			return "10.0.0.9:7001", false
+		}
+		return "", true
+	}
+	f, _, addr := startServer(t, testConfig(t.TempDir()), ServeConfig{Speed: 100, Route: route})
+
+	c, r := dialNode(t, addr)
+	sendPacket(t, c, &wire.Hello{UID: 3, Seq: 9, HelloVersion: wire.HelloVersion, Household: "foreign"})
+	pkt, err := r.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, ok := pkt.(*wire.Redirect)
+	if !ok || rd.Addr != "10.0.0.9:7001" || rd.Seq != 9 {
+		t.Fatalf("hello answered with %+v, want redirect to 10.0.0.9:7001", pkt)
+	}
+	// Usage after a redirected hello must be dropped, not admitted.
+	sendPacket(t, c, &wire.UsageStart{UID: 3, Seq: 10, Hits: 5})
+
+	// A local household on the same server still routes normally.
+	c2, r2 := dialNode(t, addr)
+	sendPacket(t, c2, &wire.Hello{UID: 4, Seq: 1, HelloVersion: wire.HelloVersion, Household: "local"})
+	if pkt, err := r2.ReadPacket(); err != nil {
+		t.Fatal(err)
+	} else if ack, ok := pkt.(*wire.Ack); !ok || ack.Seq != 1 {
+		t.Fatalf("local hello answered with %+v", pkt)
+	}
+	sendPacket(t, c2, &wire.UsageStart{UID: 4, Seq: 2, Hits: 5})
+	st := awaitEvents(t, f, 1)
+	if st.Events != 1 || st.Admissions != 1 {
+		t.Errorf("stats = %+v, want exactly the local event admitted", st)
+	}
+}

@@ -78,7 +78,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 	}
 
 	streams, err := parrun.Map(cfg.Households, cfg.Workers, func(i int) ([]Event, error) {
-		return soakStream(cfg, soakHousehold(i)), nil
+		return soakStream(cfg, SoakHousehold(i)), nil
 	})
 	if err != nil {
 		return SoakResult{}, err
@@ -141,20 +141,34 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 	}, nil
 }
 
-// soakHousehold names household i.
-func soakHousehold(i int) string { return fmt.Sprintf("h%05d", i) }
+// SoakHousehold names household i of a soak — exported so the cluster
+// soak driver addresses the same simulated homes.
+func SoakHousehold(i int) string { return fmt.Sprintf("h%05d", i) }
 
-// soakStream generates one household's life: cfg.Sessions tea-making
-// sessions with jittered timing and occasional step-order variation,
-// plus a mid-life idle gap long enough to trigger eviction.
-func soakStream(cfg SoakConfig, household string) []Event {
+// SoakSessions generates one household's life as per-session event
+// slices: cfg.Sessions tea-making sessions with jittered timing and
+// occasional step-order variation, plus a mid-life idle gap long enough
+// to trigger eviction (attached to the front of the session after the
+// gap). Concatenated, the slices are exactly the stream Soak delivers —
+// which is what makes the cluster soak comparable to the single-process
+// one: the cluster driver delivers session k of every household as round
+// k, and since a tenant's policy depends only on its own event sequence,
+// the per-household checkpoint bytes come out identical.
+func SoakSessions(cfg SoakConfig, household string) [][]Event {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 6
+	}
+	if cfg.IdleEvict <= 0 {
+		cfg.IdleEvict = 10 * time.Minute
+	}
 	rng := sim.RNG(cfg.Seed, "fleet/soak/"+household)
 	activity := adl.TeaMaking()
 	var (
-		out []Event
-		now time.Duration
+		sessions [][]Event
+		now      time.Duration
 	)
 	for session := 0; session < cfg.Sessions; session++ {
+		var out []Event
 		if session == cfg.Sessions/2 && session > 0 {
 			// Mid-life: fall idle past the eviction deadline. The advance
 			// evicts the tenant; the next session re-admits it from its
@@ -186,6 +200,17 @@ func soakStream(cfg SoakConfig, household string) []Event {
 			})
 		}
 		now += 20 * time.Second // between sessions, well under the idle deadline
+		sessions = append(sessions, out)
+	}
+	return sessions
+}
+
+// soakStream is one household's full event stream: its sessions
+// concatenated.
+func soakStream(cfg SoakConfig, household string) []Event {
+	var out []Event
+	for _, s := range SoakSessions(cfg, household) {
+		out = append(out, s...)
 	}
 	return out
 }
@@ -202,7 +227,27 @@ func Digest(b store.Backend) (string, error) {
 	if err := b.Enumerate(func(name string) { names = append(names, name) }); err != nil {
 		return "", err
 	}
+	return DigestOver(names, func(name string, c *store.Checkpoint) error {
+		return store.LoadCheckpoint(b, name, c)
+	})
+}
+
+// DigestOver computes the canonical digest over an explicit household
+// set, loading each checkpoint through load — the primitive under
+// Digest, exported so a cluster driver can combine households that live
+// in different peers' backends into the one comparable digest (each name
+// loaded from its owning peer). Names are deduplicated and sorted; the
+// result is the same formula Digest uses.
+func DigestOver(names []string, load func(name string, c *store.Checkpoint) error) (string, error) {
+	names = append([]string(nil), names...)
 	sort.Strings(names)
+	uniq := names[:0]
+	for i, name := range names {
+		if i == 0 || name != names[i-1] {
+			uniq = append(uniq, name)
+		}
+	}
+	names = uniq
 	// Read and canonicalize the blobs in parallel: the digest is
 	// combined below in sorted name order regardless, so the concurrency
 	// only overlaps per-blob read latency and decode work and cannot
@@ -210,7 +255,7 @@ func Digest(b store.Backend) (string, error) {
 	const readers = 8
 	sums, err := parrun.Map(len(names), readers, func(i int) ([sha256.Size]byte, error) {
 		var c store.Checkpoint
-		if err := store.LoadCheckpoint(b, names[i], &c); err != nil {
+		if err := load(names[i], &c); err != nil {
 			return [sha256.Size]byte{}, fmt.Errorf("digest %s: %w", names[i], err)
 		}
 		canon, err := store.AppendCheckpoint(nil, &c)
@@ -222,12 +267,48 @@ func Digest(b store.Backend) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	h := sha256.New()
+	bySum := make(map[string][sha256.Size]byte, len(names))
 	for i, name := range names {
-		fmt.Fprintf(h, "%s\x00", name)
-		h.Write(sums[i][:])
+		bySum[name] = sums[i]
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	return CombineDigest(bySum), nil
+}
+
+// CheckpointSum is the canonical hash of one household's checkpoint in
+// a backend: the SHA-256 of the blob's canonical binary re-encoding —
+// the per-household term of the Digest formula. A cluster soak worker
+// computes these locally so the driver can combine households living in
+// different processes into one comparable digest.
+func CheckpointSum(b store.Backend, name string) ([sha256.Size]byte, error) {
+	var c store.Checkpoint
+	if err := store.LoadCheckpoint(b, name, &c); err != nil {
+		return [sha256.Size]byte{}, fmt.Errorf("digest %s: %w", name, err)
+	}
+	canon, err := store.AppendCheckpoint(nil, &c)
+	if err != nil {
+		return [sha256.Size]byte{}, fmt.Errorf("digest %s: %w", name, err)
+	}
+	return sha256.Sum256(canon), nil
+}
+
+// CombineDigest folds per-household canonical sums into the Digest
+// formula: sorted by name, each contributing "name\x00" + sum. It is
+// the combine half of DigestOver, exported so digests assembled from
+// per-peer CheckpointSum pieces are byte-comparable with single-process
+// Digest output.
+func CombineDigest(sums map[string][sha256.Size]byte) string {
+	names := make([]string, 0, len(sums))
+	for name := range sums {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	for _, name := range names {
+		s := sums[name]
+		fmt.Fprintf(h, "%s\x00", name)
+		h.Write(s[:])
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // DigestDir is Digest over the local-dir backend rooted at dir.

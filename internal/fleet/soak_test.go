@@ -3,6 +3,7 @@ package fleet
 import (
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"coreda/internal/store"
@@ -40,7 +41,7 @@ func TestSoakShardParity(t *testing.T) {
 	// Byte-level check, not just the digest: every per-household file
 	// must match exactly.
 	for h := 0; h < cfg.Households; h++ {
-		name := soakHousehold(h) + ".ckpt"
+		name := SoakHousehold(h) + ".ckpt"
 		want, err := os.ReadFile(filepath.Join(dirs[0], name))
 		if err != nil {
 			t.Fatalf("household %s never checkpointed: %v", name, err)
@@ -83,7 +84,7 @@ func TestSoakFormatParity(t *testing.T) {
 	}
 	// The JSON run must genuinely have written JSON bytes — parity by
 	// canonicalization, not because the flag was ignored.
-	data, err := os.ReadFile(filepath.Join(jsDir, soakHousehold(0)+".ckpt"))
+	data, err := os.ReadFile(filepath.Join(jsDir, SoakHousehold(0)+".ckpt"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestShardOf(t *testing.T) {
 	}
 	counts := make([]int, 4)
 	for i := 0; i < 1000; i++ {
-		s := ShardOf(soakHousehold(i), 4)
+		s := ShardOf(SoakHousehold(i), 4)
 		if s < 0 || s >= 4 {
 			t.Fatalf("shard %d out of range", s)
 		}
@@ -189,5 +190,31 @@ func TestValidHousehold(t *testing.T) {
 		if ValidHousehold(bad) {
 			t.Errorf("%q accepted", bad)
 		}
+	}
+}
+
+// TestSoakSessionsFlattenToStream pins the contract the cluster soak
+// depends on: a household's per-session slices, concatenated, are
+// exactly the stream the single-process soak delivers.
+func TestSoakSessionsFlattenToStream(t *testing.T) {
+	cfg := SoakConfig{Seed: 11, Sessions: 5}
+	for _, hh := range []string{SoakHousehold(0), SoakHousehold(3)} {
+		var flat []Event
+		sessions := SoakSessions(cfg, hh)
+		if len(sessions) != 5 {
+			t.Fatalf("%s: %d sessions, want 5", hh, len(sessions))
+		}
+		for _, s := range sessions {
+			flat = append(flat, s...)
+		}
+		want := soakStream(cfg, hh)
+		if !reflect.DeepEqual(flat, want) {
+			t.Errorf("%s: concatenated sessions differ from soak stream", hh)
+		}
+	}
+	// The mid-life eviction gap lands at the front of session Sessions/2.
+	mid := SoakSessions(cfg, SoakHousehold(0))[2]
+	if mid[0].Kind != EventAdvance {
+		t.Errorf("session 2 starts with %v, want the idle-gap advance", mid[0].Kind)
 	}
 }

@@ -38,6 +38,13 @@ type NodeClient struct {
 	timeout time.Duration
 	onLED   func(LEDEvent)
 
+	// helloSeq/helloWait track an in-flight HelloWait (guarded by wm);
+	// the reader loop resolves it through helloCh with the server's
+	// verdict: acked locally, or redirected to the owning peer.
+	helloSeq  uint16
+	helloWait bool
+	helloCh   chan string // "" = acked; else the redirect address
+
 	closed sync.Once
 	readEr error
 	doneCh chan struct{}
@@ -46,7 +53,7 @@ type NodeClient struct {
 // NewNodeClient wraps an established connection. onLED receives decoded
 // LED commands (may be nil). The reader loop starts immediately.
 func NewNodeClient(conn net.Conn, uid uint16, onLED func(LEDEvent)) *NodeClient {
-	n := &NodeClient{uid: uid, conn: conn, onLED: onLED, doneCh: make(chan struct{})}
+	n := &NodeClient{uid: uid, conn: conn, onLED: onLED, helloCh: make(chan string, 1), doneCh: make(chan struct{})}
 	go n.readLoop()
 	return n
 }
@@ -131,6 +138,81 @@ func (n *NodeClient) Hello(household string) error {
 	})
 }
 
+// Redirected reports that a fleet cluster answered the node's hello by
+// naming the peer that owns its household; the node should reconnect to
+// Addr.
+type Redirected struct{ Addr string }
+
+// Error implements error.
+func (r *Redirected) Error() string { return "rtbridge: household served by " + r.Addr }
+
+// HelloWait sends a hello and waits for the cluster's verdict: nil when
+// the household is served on this connection, *Redirected when the
+// owning peer is elsewhere, or an error when the connection dies or
+// timeout passes first. Plain Hello stays fire-and-forget for
+// single-process servers; cluster-aware nodes use this (via DialCluster)
+// so they never stream usage to a process that would drop it.
+func (n *NodeClient) HelloWait(household string, timeout time.Duration) error {
+	n.wm.Lock()
+	n.seq++
+	n.helloSeq = n.seq
+	n.helloWait = true
+	// Drain a stale verdict from an earlier HelloWait that timed out
+	// after the reply arrived.
+	select {
+	case <-n.helloCh:
+	default:
+	}
+	//coreda:vet-ignore lockheld wm orders seq increment and socket write as one atomic report
+	err := n.write(&wire.Hello{
+		UID:          n.uid,
+		Seq:          n.seq,
+		HelloVersion: wire.HelloVersion,
+		Household:    household,
+	})
+	n.wm.Unlock()
+	if err != nil {
+		return err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case addr := <-n.helloCh:
+		if addr != "" {
+			return &Redirected{Addr: addr}
+		}
+		return nil
+	case <-n.doneCh:
+		return errors.New("rtbridge: connection closed awaiting hello ack")
+	case <-timer.C:
+		return errors.New("rtbridge: timed out awaiting hello ack")
+	}
+}
+
+// DialCluster connects a node to a fleet cluster: it dials addr, greets
+// with household, and follows redirects (bounded, in case a rebalance is
+// racing the dial) until a peer accepts the household. timeout bounds
+// each hello round trip.
+func DialCluster(addr, household string, uid uint16, onLED func(LEDEvent), timeout time.Duration) (*NodeClient, error) {
+	const maxHops = 3
+	for hop := 0; ; hop++ {
+		n, err := DialNode(addr, uid, onLED)
+		if err != nil {
+			return nil, err
+		}
+		err = n.HelloWait(household, timeout)
+		if err == nil {
+			return n, nil
+		}
+		n.Close()
+		var rd *Redirected
+		if !errors.As(err, &rd) || hop == maxHops {
+			return nil, err
+		}
+		addr = rd.Addr
+	}
+}
+
 // Heartbeat sends a liveness beacon.
 func (n *NodeClient) Heartbeat(uptime time.Duration) error {
 	n.wm.Lock()
@@ -198,7 +280,29 @@ func (n *NodeClient) readLoop() {
 				return
 			}
 		case wire.TypeAck:
-			// Usage report acknowledged; nothing to do over TCP.
+			// Usage-report acks need nothing over TCP, but an ack of an
+			// in-flight HelloWait is its "served here" verdict.
+			n.resolveHello(f.Ack.Seq, "")
+		case wire.TypeRedirect:
+			n.resolveHello(f.Redirect.Seq, f.Redirect.Addr)
 		}
+	}
+}
+
+// resolveHello delivers a hello verdict (ack or redirect) to a pending
+// HelloWait, if seq matches the hello in flight.
+func (n *NodeClient) resolveHello(seq uint16, addr string) {
+	n.wm.Lock()
+	pending := n.helloWait && seq == n.helloSeq
+	if pending {
+		n.helloWait = false
+	}
+	n.wm.Unlock()
+	if !pending {
+		return
+	}
+	select {
+	case n.helloCh <- addr:
+	default:
 	}
 }

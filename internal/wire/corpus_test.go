@@ -30,6 +30,12 @@ func corpusPackets() []Packet {
 		&Heartbeat{UID: 65535, Seq: 255, UptimeMs: 4294967295, Battery: 100},
 		&Hello{UID: 1, Seq: 1, HelloVersion: HelloVersion},
 		&Hello{UID: 65535, Seq: 65535, HelloVersion: HelloVersion, Household: strings.Repeat("h", MaxHousehold)},
+		&PeerHello{PeerVersion: PeerHelloVersion},
+		&PeerHello{PeerVersion: PeerHelloVersion, Epoch: 4294967295, PeerAddr: strings.Repeat("p", MaxAddr), NodeAddr: strings.Repeat("n", MaxAddr)},
+		&Redirect{Seq: 65535, Addr: strings.Repeat("r", MaxAddr)},
+		&Replicate{Seq: 65535, Flags: FlagFsync, NameLen: MaxHousehold, Size: MaxBlob, CRC: 4294967295},
+		&Handoff{Seq: 65535, Epoch: 4294967295, Flags: FlagFsync, NameLen: MaxHousehold, Size: MaxBlob, CRC: 4294967295},
+		&RangeClaim{Seq: 65535, Epoch: 4294967295, Start: 0, End: 65535, Addr: strings.Repeat("c", MaxAddr)},
 	)
 	return pkts
 }
@@ -75,6 +81,13 @@ func hostileSeeds() []struct {
 		{"empty-payload", rawFrame(byte(TypeUsageStart), nil)},
 		{"hello-version-zero", rawFrame(byte(TypeHello), []byte{0, 1, 0, 1, 0, 2, 'h', 'h'})},
 		{"hello-truncated-household", rawFrame(byte(TypeHello), []byte{0, 1, 0, 1, 1, 40, 'h'})},
+		{"peerhello-version-zero", rawFrame(byte(TypePeerHello), []byte{0, 0, 0, 0, 1, 3, 'a', ':', '1', 3, 'a', ':', '2'})},
+		{"peerhello-truncated-addr", rawFrame(byte(TypePeerHello), []byte{1, 0, 0, 0, 1, 20, 'x'})},
+		{"redirect-addr-overflow", rawFrame(byte(TypeRedirect), append([]byte{0, 1, 29}, bytes.Repeat([]byte{'x'}, 29)...))},
+		{"replicate-bad-flags", rawFrame(byte(TypeReplicate), []byte{0, 1, 0x82, 3, 0, 0, 0, 1, 0, 0, 0, 0})},
+		{"replicate-blob-overflow", rawFrame(byte(TypeReplicate), []byte{0, 1, 0, 3, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0})},
+		{"handoff-name-overflow", rawFrame(byte(TypeHandoff), []byte{0, 1, 0, 0, 0, 2, 0, 59, 0, 0, 0, 1, 0, 0, 0, 0})},
+		{"rangeclaim-inverted", rawFrame(byte(TypeRangeClaim), []byte{0, 1, 0, 0, 0, 2, 0, 9, 0, 3, 3, 'a', ':', '1'})},
 	}
 }
 

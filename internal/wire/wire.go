@@ -51,6 +51,32 @@ const (
 	// Nodes that never send it are routed to the server's default
 	// household, which keeps pre-hello nodes working unchanged.
 	TypeHello Type = 0x06
+
+	// Peer-protocol types (0x07..0x0B) travel only on the TCP links
+	// between fleet processes of a cluster (internal/cluster), never on
+	// the radio; they reuse the node framing so peer links get the same
+	// CRC protection and resynchronizing reader for free.
+
+	// TypePeerHello opens a peer link, announcing the sender's identity
+	// (its peer address) and its node-facing address for redirects.
+	TypePeerHello Type = 0x07
+	// TypeRedirect answers a node hello for a household this process
+	// does not own, naming the owning peer's node-facing address. The
+	// node is expected to reconnect there.
+	TypeRedirect Type = 0x08
+	// TypeReplicate pushes one tenant checkpoint generation to a
+	// replica peer. The frame is a bulk-transfer header: the household
+	// name and blob bytes follow it raw on the stream (see
+	// Replicate.BodyLen), since checkpoint blobs dwarf MaxPayload.
+	TypeReplicate Type = 0x09
+	// TypeHandoff transfers tenant ownership: like TypeReplicate (same
+	// header-then-body shape) but the receiver becomes the tenant's
+	// owner and the sender stops serving it once acked.
+	TypeHandoff Type = 0x0A
+	// TypeRangeClaim announces that a peer owns a ring-slot range as of
+	// a membership epoch; receivers rebalance (hand off resident
+	// tenants in the range) and redirect accordingly.
+	TypeRangeClaim Type = 0x0B
 )
 
 // String returns the packet type name.
@@ -68,6 +94,16 @@ func (t Type) String() string {
 		return "heartbeat"
 	case TypeHello:
 		return "hello"
+	case TypePeerHello:
+		return "peer-hello"
+	case TypeRedirect:
+		return "redirect"
+	case TypeReplicate:
+		return "replicate"
+	case TypeHandoff:
+		return "handoff"
+	case TypeRangeClaim:
+		return "range-claim"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", byte(t))
 	}
@@ -330,6 +366,266 @@ func (p *Hello) parse(b []byte) error {
 	return nil
 }
 
+// PeerHelloVersion is the current peer-handshake schema version. Like
+// HelloVersion it is carried in the payload, independent of the frame
+// Version, so peer processes of adjacent releases can interoperate: a vN
+// parser accepts peer hellos from any vM >= N peer, ignoring appended
+// fields.
+const PeerHelloVersion = 1
+
+// MaxAddr is the longest address string a peer-protocol packet may
+// carry. Two of them plus the fixed PeerHello fields must fit the
+// payload budget.
+const MaxAddr = 28
+
+// PeerHello opens a peer link between two fleet processes. It names the
+// sender twice: PeerAddr is its identity on the peer ring (what other
+// peers dial), NodeAddr is its node-facing listener (what Redirect sends
+// misdirected households to).
+type PeerHello struct {
+	PeerVersion uint8  // schema version of this peer hello (>= 1)
+	Epoch       uint32 // sender's membership epoch
+	PeerAddr    string // sender's peer-ring address, at most MaxAddr bytes
+	NodeAddr    string // sender's node-facing address, at most MaxAddr bytes
+}
+
+// Type implements Packet.
+func (*PeerHello) Type() Type { return TypePeerHello }
+
+func (p *PeerHello) appendPayload(dst []byte) []byte {
+	dst = append(dst, p.PeerVersion)
+	dst = binary.BigEndian.AppendUint32(dst, p.Epoch)
+	dst = append(dst, byte(len(p.PeerAddr)))
+	dst = append(dst, p.PeerAddr...)
+	dst = append(dst, byte(len(p.NodeAddr)))
+	return append(dst, p.NodeAddr...)
+}
+
+func (p *PeerHello) parse(b []byte) error {
+	if len(b) < 7 {
+		return ErrBadPayload
+	}
+	ver := b[0]
+	if ver == 0 {
+		return fmt.Errorf("%w: peer hello version 0", ErrBadField)
+	}
+	pn := int(b[5])
+	if pn > MaxAddr {
+		return fmt.Errorf("%w: peer address length %d", ErrBadField, pn)
+	}
+	if len(b) < 7+pn {
+		return ErrBadPayload
+	}
+	nn := int(b[6+pn])
+	if nn > MaxAddr {
+		return fmt.Errorf("%w: node address length %d", ErrBadField, nn)
+	}
+	// Version 1 payloads end exactly after the node address; later
+	// versions may append fields, which a v1 parser skips.
+	if ver == 1 && len(b) != 7+pn+nn {
+		return ErrBadPayload
+	}
+	if len(b) < 7+pn+nn {
+		return ErrBadPayload
+	}
+	p.PeerVersion = ver
+	p.Epoch = binary.BigEndian.Uint32(b[1:])
+	p.PeerAddr = string(b[6 : 6+pn])
+	p.NodeAddr = string(b[7+pn : 7+pn+nn])
+	return nil
+}
+
+// Redirect answers a node Hello for a household this process does not
+// own: the node should reconnect to Addr (the owning peer's node-facing
+// listener) and re-send its hello there.
+type Redirect struct {
+	Seq  uint16 // sequence of the Hello being answered
+	Addr string // owning peer's node-facing address, at most MaxAddr bytes
+}
+
+// Type implements Packet.
+func (*Redirect) Type() Type { return TypeRedirect }
+
+func (p *Redirect) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = append(dst, byte(len(p.Addr)))
+	return append(dst, p.Addr...)
+}
+
+func (p *Redirect) parse(b []byte) error {
+	if len(b) < 3 {
+		return ErrBadPayload
+	}
+	n := int(b[2])
+	if n > MaxAddr {
+		return fmt.Errorf("%w: redirect address length %d", ErrBadField, n)
+	}
+	if len(b) != 3+n {
+		return ErrBadPayload
+	}
+	p.Seq = binary.BigEndian.Uint16(b[0:])
+	p.Addr = string(b[3 : 3+n])
+	return nil
+}
+
+// MaxBlob is the largest checkpoint blob a Replicate/Handoff transfer
+// accepts — a hostile-input cap far above any real checkpoint, which is
+// kilobytes.
+const MaxBlob = 16 << 20
+
+// FlagFsync asks the receiver to persist the blob durably before
+// acknowledging.
+const FlagFsync = 0x01
+
+// Replicate is the header of a checkpoint-replication transfer: frames
+// cap payloads at MaxPayload, so the household name (NameLen bytes) and
+// checkpoint blob (Size bytes) follow the frame raw on the stream — a
+// bulk side-channel the resynchronizing Reader never sees because the
+// receiver consumes exactly BodyLen bytes before the next frame. CRC is
+// the IEEE CRC-32 of the blob alone; the name is covered by the check
+// that it parses as a household the receiver replicates.
+type Replicate struct {
+	Seq     uint16 // per-link transfer sequence, echoed in the Ack
+	Flags   uint8  // FlagFsync is the only defined bit
+	NameLen uint8  // household name length, at most MaxHousehold
+	Size    uint32 // checkpoint blob length, at most MaxBlob
+	CRC     uint32 // IEEE CRC-32 of the blob bytes
+}
+
+// Type implements Packet.
+func (*Replicate) Type() Type { return TypeReplicate }
+
+// BodyLen returns how many raw bytes follow the frame on the stream.
+func (p *Replicate) BodyLen() int { return int(p.NameLen) + int(p.Size) }
+
+func (p *Replicate) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = append(dst, p.Flags, p.NameLen)
+	dst = binary.BigEndian.AppendUint32(dst, p.Size)
+	return binary.BigEndian.AppendUint32(dst, p.CRC)
+}
+
+func (p *Replicate) parse(b []byte) error {
+	if len(b) != 12 {
+		return ErrBadPayload
+	}
+	if b[2]&^FlagFsync != 0 {
+		return fmt.Errorf("%w: replicate flags 0x%02x", ErrBadField, b[2])
+	}
+	if int(b[3]) > MaxHousehold {
+		return fmt.Errorf("%w: household length %d", ErrBadField, b[3])
+	}
+	if size := binary.BigEndian.Uint32(b[4:]); size > MaxBlob {
+		return fmt.Errorf("%w: blob size %d", ErrBadField, size)
+	}
+	p.Seq = binary.BigEndian.Uint16(b[0:])
+	p.Flags = b[2]
+	p.NameLen = b[3]
+	p.Size = binary.BigEndian.Uint32(b[4:])
+	p.CRC = binary.BigEndian.Uint32(b[8:])
+	return nil
+}
+
+// Handoff transfers tenant ownership between peers. The transfer shape
+// is Replicate's (header frame, then name and blob raw on the stream)
+// plus the sender's membership epoch: a receiver rejects handoffs from a
+// stale epoch so a partitioned ex-owner cannot re-seed a tenant it no
+// longer owns. Once the receiver acks, it owns the tenant and the
+// sender must evict it and redirect its nodes.
+type Handoff struct {
+	Seq     uint16
+	Epoch   uint32 // sender's membership epoch
+	Flags   uint8  // FlagFsync is the only defined bit
+	NameLen uint8  // household name length, at most MaxHousehold
+	Size    uint32 // checkpoint blob length, at most MaxBlob
+	CRC     uint32 // IEEE CRC-32 of the blob bytes
+}
+
+// Type implements Packet.
+func (*Handoff) Type() Type { return TypeHandoff }
+
+// BodyLen returns how many raw bytes follow the frame on the stream.
+func (p *Handoff) BodyLen() int { return int(p.NameLen) + int(p.Size) }
+
+func (p *Handoff) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, p.Epoch)
+	dst = append(dst, p.Flags, p.NameLen)
+	dst = binary.BigEndian.AppendUint32(dst, p.Size)
+	return binary.BigEndian.AppendUint32(dst, p.CRC)
+}
+
+func (p *Handoff) parse(b []byte) error {
+	if len(b) != 16 {
+		return ErrBadPayload
+	}
+	if b[6]&^FlagFsync != 0 {
+		return fmt.Errorf("%w: handoff flags 0x%02x", ErrBadField, b[6])
+	}
+	if int(b[7]) > MaxHousehold {
+		return fmt.Errorf("%w: household length %d", ErrBadField, b[7])
+	}
+	if size := binary.BigEndian.Uint32(b[8:]); size > MaxBlob {
+		return fmt.Errorf("%w: blob size %d", ErrBadField, size)
+	}
+	p.Seq = binary.BigEndian.Uint16(b[0:])
+	p.Epoch = binary.BigEndian.Uint32(b[2:])
+	p.Flags = b[6]
+	p.NameLen = b[7]
+	p.Size = binary.BigEndian.Uint32(b[8:])
+	p.CRC = binary.BigEndian.Uint32(b[12:])
+	return nil
+}
+
+// RangeClaim announces that the peer at Addr owns the inclusive ring-
+// slot range [Start, End] as of membership epoch Epoch. A peer's
+// ownership is rarely one contiguous run, so a rebalance emits one claim
+// per run. Receivers route and redirect accordingly and hand off any
+// resident tenants that fall inside the range.
+type RangeClaim struct {
+	Seq   uint16
+	Epoch uint32 // membership epoch the claim belongs to
+	Start uint16 // first owned slot
+	End   uint16 // last owned slot (inclusive; >= Start)
+	Addr  string // claimant's peer-ring address, at most MaxAddr bytes
+}
+
+// Type implements Packet.
+func (*RangeClaim) Type() Type { return TypeRangeClaim }
+
+func (p *RangeClaim) appendPayload(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint16(dst, p.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, p.Epoch)
+	dst = binary.BigEndian.AppendUint16(dst, p.Start)
+	dst = binary.BigEndian.AppendUint16(dst, p.End)
+	dst = append(dst, byte(len(p.Addr)))
+	return append(dst, p.Addr...)
+}
+
+func (p *RangeClaim) parse(b []byte) error {
+	if len(b) < 11 {
+		return ErrBadPayload
+	}
+	start := binary.BigEndian.Uint16(b[6:])
+	end := binary.BigEndian.Uint16(b[8:])
+	if end < start {
+		return fmt.Errorf("%w: slot range [%d, %d]", ErrBadField, start, end)
+	}
+	n := int(b[10])
+	if n > MaxAddr {
+		return fmt.Errorf("%w: claim address length %d", ErrBadField, n)
+	}
+	if len(b) != 11+n {
+		return ErrBadPayload
+	}
+	p.Seq = binary.BigEndian.Uint16(b[0:])
+	p.Epoch = binary.BigEndian.Uint32(b[2:])
+	p.Start = start
+	p.End = end
+	p.Addr = string(b[11 : 11+n])
+	return nil
+}
+
 // MaxFrame is the size of the largest possible frame: header (4 bytes),
 // a full payload and the CRC trailer.
 const MaxFrame = 6 + MaxPayload
@@ -370,9 +666,10 @@ func Encode(p Packet) ([]byte, error) {
 // heap allocation per packet. Kind selects the active member; Packet
 // returns it behind the Packet interface.
 //
-// The one allocation DecodeInto cannot avoid is the Hello household
-// string (Go strings are immutable, so the bytes must be copied out of
-// the frame buffer) — hellos are once-per-connection, not per-frame.
+// The one allocation DecodeInto cannot avoid is string fields (Go
+// strings are immutable, so the bytes must be copied out of the frame
+// buffer): the Hello household and the peer-protocol addresses. Both are
+// handshake/control traffic, not per-event frames.
 type Frame struct {
 	Kind       Type
 	UsageStart UsageStart
@@ -381,6 +678,11 @@ type Frame struct {
 	Ack        Ack
 	Heartbeat  Heartbeat
 	Hello      Hello
+	PeerHello  PeerHello
+	Redirect   Redirect
+	Replicate  Replicate
+	Handoff    Handoff
+	RangeClaim RangeClaim
 }
 
 // Packet returns the active member as a Packet. The returned value
@@ -400,6 +702,16 @@ func (f *Frame) Packet() Packet {
 		return &f.Heartbeat
 	case TypeHello:
 		return &f.Hello
+	case TypePeerHello:
+		return &f.PeerHello
+	case TypeRedirect:
+		return &f.Redirect
+	case TypeReplicate:
+		return &f.Replicate
+	case TypeHandoff:
+		return &f.Handoff
+	case TypeRangeClaim:
+		return &f.RangeClaim
 	default:
 		return nil
 	}
@@ -426,6 +738,21 @@ func (f *Frame) detach() Packet {
 		return &p
 	case TypeHello:
 		p := f.Hello
+		return &p
+	case TypePeerHello:
+		p := f.PeerHello
+		return &p
+	case TypeRedirect:
+		p := f.Redirect
+		return &p
+	case TypeReplicate:
+		p := f.Replicate
+		return &p
+	case TypeHandoff:
+		p := f.Handoff
+		return &p
+	case TypeRangeClaim:
+		p := f.RangeClaim
 		return &p
 	default:
 		return nil
@@ -477,6 +804,21 @@ func DecodeInto(f *Frame, frame []byte) error {
 	case TypeHello:
 		f.Kind = t
 		return f.Hello.parse(body)
+	case TypePeerHello:
+		f.Kind = t
+		return f.PeerHello.parse(body)
+	case TypeRedirect:
+		f.Kind = t
+		return f.Redirect.parse(body)
+	case TypeReplicate:
+		f.Kind = t
+		return f.Replicate.parse(body)
+	case TypeHandoff:
+		f.Kind = t
+		return f.Handoff.parse(body)
+	case TypeRangeClaim:
+		f.Kind = t
+		return f.RangeClaim.parse(body)
 	default:
 		return fmt.Errorf("%w: 0x%02x", ErrUnknownType, byte(t))
 	}

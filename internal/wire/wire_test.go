@@ -18,6 +18,11 @@ func samplePackets() []Packet {
 		&Ack{UID: 24, Seq: 3},
 		&Heartbeat{UID: 11, Seq: 99, UptimeMs: 3600000, Battery: 87},
 		&Hello{UID: 21, Seq: 1, HelloVersion: HelloVersion, Household: "tanaka-42"},
+		&PeerHello{PeerVersion: PeerHelloVersion, Epoch: 3, PeerAddr: "127.0.0.1:9001", NodeAddr: "127.0.0.1:9101"},
+		&Redirect{Seq: 4, Addr: "127.0.0.1:9102"},
+		&Replicate{Seq: 17, Flags: FlagFsync, NameLen: 6, Size: 4096, CRC: 0xDEADBEEF},
+		&Handoff{Seq: 18, Epoch: 3, NameLen: 6, Size: 4096, CRC: 0xCAFEF00D},
+		&RangeClaim{Seq: 19, Epoch: 4, Start: 12, End: 31, Addr: "127.0.0.1:9002"},
 	}
 }
 
@@ -176,6 +181,93 @@ func TestHelloVersioning(t *testing.T) {
 	}
 	if _, err := Encode(&Hello{UID: 1, Seq: 1, HelloVersion: 1, Household: long + "h"}); !errors.Is(err, ErrOversized) {
 		t.Errorf("oversized household: %v, want ErrOversized", err)
+	}
+}
+
+func buildRaw(typ byte, payload []byte) []byte {
+	f := append([]byte{Magic, Version, typ, byte(len(payload))}, payload...)
+	crc := CRC16(f[1:])
+	return append(f, byte(crc>>8), byte(crc))
+}
+
+func TestPeerHelloVersioning(t *testing.T) {
+	peerHello := func(ver byte, peer, node string, extra ...byte) []byte {
+		payload := []byte{ver, 0, 0, 0, 7, byte(len(peer))}
+		payload = append(payload, peer...)
+		payload = append(payload, byte(len(node)))
+		payload = append(payload, node...)
+		payload = append(payload, extra...)
+		return buildRaw(byte(TypePeerHello), payload)
+	}
+
+	// Forward compatibility: a v2 peer hello with appended fields parses
+	// on this v1 implementation.
+	p, err := Decode(peerHello(2, "a:1", "a:2", 0xAA, 0xBB))
+	if err != nil {
+		t.Fatalf("v2 peer hello with trailing fields: %v", err)
+	}
+	h, ok := p.(*PeerHello)
+	if !ok || h.PeerAddr != "a:1" || h.NodeAddr != "a:2" || h.Epoch != 7 || h.PeerVersion != 2 {
+		t.Errorf("v2 peer hello decoded to %+v", p)
+	}
+	// A v1 peer hello must end exactly after the node address.
+	if _, err := Decode(peerHello(1, "a:1", "a:2", 0xAA)); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("v1 peer hello with trailing bytes: %v, want ErrBadPayload", err)
+	}
+	// Version 0 does not exist.
+	if _, err := Decode(peerHello(0, "a:1", "a:2")); !errors.Is(err, ErrBadField) {
+		t.Errorf("v0 peer hello: %v, want ErrBadField", err)
+	}
+	// A declared address longer than the payload carries.
+	if _, err := Decode(buildRaw(byte(TypePeerHello), []byte{1, 0, 0, 0, 1, 20, 'x'})); !errors.Is(err, ErrBadPayload) {
+		t.Errorf("short peer addr: %v, want ErrBadPayload", err)
+	}
+	// Two max-length addresses fit the payload budget.
+	long := strings.Repeat("a", MaxAddr)
+	frame, err := Encode(&PeerHello{PeerVersion: 1, PeerAddr: long, NodeAddr: long})
+	if err != nil {
+		t.Fatalf("max peer hello: %v", err)
+	}
+	if p, err := Decode(frame); err != nil || p.(*PeerHello).NodeAddr != long {
+		t.Errorf("max peer hello round-trip: %v, %+v", err, p)
+	}
+}
+
+func TestPeerPacketFieldValidation(t *testing.T) {
+	tests := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"redirect addr too long", buildRaw(byte(TypeRedirect), append([]byte{0, 1, 29}, bytes.Repeat([]byte{'x'}, 29)...)), ErrBadField},
+		{"redirect truncated addr", buildRaw(byte(TypeRedirect), []byte{0, 1, 5, 'x'}), ErrBadPayload},
+		{"replicate unknown flags", buildRaw(byte(TypeReplicate), []byte{0, 1, 0x82, 3, 0, 0, 0, 1, 0, 0, 0, 0}), ErrBadField},
+		{"replicate name too long", buildRaw(byte(TypeReplicate), []byte{0, 1, 0, 59, 0, 0, 0, 1, 0, 0, 0, 0}), ErrBadField},
+		{"replicate blob too big", buildRaw(byte(TypeReplicate), []byte{0, 1, 0, 3, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}), ErrBadField},
+		{"replicate short", buildRaw(byte(TypeReplicate), []byte{0, 1, 0, 3}), ErrBadPayload},
+		{"handoff unknown flags", buildRaw(byte(TypeHandoff), []byte{0, 1, 0, 0, 0, 2, 0x40, 3, 0, 0, 0, 1, 0, 0, 0, 0}), ErrBadField},
+		{"handoff name too long", buildRaw(byte(TypeHandoff), []byte{0, 1, 0, 0, 0, 2, 0, 59, 0, 0, 0, 1, 0, 0, 0, 0}), ErrBadField},
+		{"handoff blob too big", buildRaw(byte(TypeHandoff), []byte{0, 1, 0, 0, 0, 2, 0, 3, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}), ErrBadField},
+		{"rangeclaim inverted range", buildRaw(byte(TypeRangeClaim), []byte{0, 1, 0, 0, 0, 2, 0, 9, 0, 3, 3, 'a', ':', '1'}), ErrBadField},
+		{"rangeclaim truncated addr", buildRaw(byte(TypeRangeClaim), []byte{0, 1, 0, 0, 0, 2, 0, 1, 0, 9, 5, 'a'}), ErrBadPayload},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Decode(tt.frame); !errors.Is(err, tt.want) {
+				t.Errorf("Decode error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestBulkTransferBodyLen(t *testing.T) {
+	r := &Replicate{NameLen: 6, Size: 4096}
+	if r.BodyLen() != 6+4096 {
+		t.Errorf("Replicate.BodyLen = %d, want %d", r.BodyLen(), 6+4096)
+	}
+	h := &Handoff{NameLen: 58, Size: MaxBlob}
+	if h.BodyLen() != 58+MaxBlob {
+		t.Errorf("Handoff.BodyLen = %d, want %d", h.BodyLen(), 58+MaxBlob)
 	}
 }
 

@@ -138,3 +138,12 @@ done
 rm -f /tmp/coreda-bench-fleet-{1,2,4,8}.json
 
 echo "wrote $fout"
+
+# Cluster throughput: the same soak executed by 1, 2 and 3 cooperating
+# worker processes (checkpoint replication at K=2). Every row's digest
+# is gated against the single-process baseline inside the bench itself;
+# the events_per_sec column is what distribution buys (or costs — the
+# replication barrier is per-round) on this host.
+cout=BENCH_cluster.json
+go run ./cmd/coreda-bench -cluster-households 64 -cluster-sessions 6 -cluster-json "$cout" cluster
+echo "wrote $cout"

@@ -67,4 +67,16 @@ go run -race ./cmd/coreda-bench -households 1000 -store-format json fleet > /tmp
 diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-json.txt
 rm -f /tmp/coreda-fleet-s{1,4,8}.txt /tmp/coreda-fleet-json.txt
 
+# Cluster kill-recovery gate: the same soak split across 3 worker
+# processes — one of which is SIGKILLed mid-run, after applying a round
+# locally but before its replication barrier — must still produce a
+# policy digest byte-identical to the fault-free single-process run.
+# Survivors adopt the victim's households from their replica blobs and
+# the driver replays the killed round. The bench "cluster" mode then
+# re-checks fault-free digest parity at 1, 2 and 3 processes and exits
+# non-zero on any divergence.
+echo "== cluster soak (3 procs, SIGKILL one peer, digest parity, race-enabled)"
+go test -race -count 1 -run 'TestClusterSoakMatchesSingleProcess|TestClusterSoakSurvivesSigkill' ./internal/cluster/
+go run ./cmd/coreda-bench -cluster-households 24 -cluster-sessions 4 cluster
+
 echo "ok"
