@@ -7,9 +7,10 @@
 //	coreda-bench [-seed N] [-samples N] [-episodes N] [-workers N] [table3|figure4|table4|figure1|ablations|comparison|chaos|fleet|cluster|sweeps|all]
 //
 // The fleet workload (-households, -fleet-shards, -fleet-sessions,
-// -fleet-json) soaks the multi-tenant runtime of internal/fleet; its
-// stdout is deterministic and shard-count independent, while -fleet-json
-// records this run's wall-clock throughput.
+// -fleet-control, -fleet-jobfail, -fleet-json) soaks the multi-tenant
+// runtime of internal/fleet; its stdout is deterministic and independent
+// of shard count, control-plane mode and job-failure injection, while
+// -fleet-json records this run's wall-clock throughput.
 //
 // The cluster workload (-cluster-households, -cluster-sessions,
 // -cluster-json) re-runs the soak as 1, 2 and 3 cooperating worker
@@ -41,6 +42,8 @@ func main() {
 	fleetShards := flag.Int("fleet-shards", 0, "fleet shard count (0 = GOMAXPROCS; stdout is identical at any value)")
 	fleetSessions := flag.Int("fleet-sessions", 4, "sessions per household for the fleet workload")
 	fleetJSON := flag.String("fleet-json", "", "write fleet throughput (events/sec, households/shard) to this JSON file")
+	fleetControl := flag.String("fleet-control", "queue", "fleet control-plane mode: queue or inline (stdout is identical at either)")
+	fleetJobFail := flag.Float64("fleet-jobfail", 0, "chaos job-failure probability for control-queue jobs (stdout is identical at any value)")
 	clusterHouseholds := flag.Int("cluster-households", 24, "simulated households for the cluster workload")
 	clusterSessions := flag.Int("cluster-sessions", 4, "sessions per household for the cluster workload")
 	clusterJSON := flag.String("cluster-json", "", "write cluster throughput (events/sec at 1/2/3 procs) to this JSON file")
@@ -181,7 +184,7 @@ func main() {
 		return nil
 	})
 	run("fleet", func() error {
-		return runFleetBench(*seed, *households, *fleetShards, *fleetSessions, *workers, *storeFormat, *fleetJSON)
+		return runFleetBench(*seed, *households, *fleetShards, *fleetSessions, *workers, *storeFormat, *fleetControl, *fleetJobFail, *fleetJSON)
 	})
 	// Opt-in only (not part of "all"): spawns worker processes.
 	if which == "cluster" {

@@ -46,6 +46,7 @@ import (
 	"coreda"
 	"coreda/internal/cluster"
 	"coreda/internal/fleet"
+	"coreda/internal/notify"
 	"coreda/internal/store"
 )
 
@@ -132,6 +133,27 @@ func run(o options) error {
 
 	out := &console{}
 
+	// The control-plane bus: shards publish eviction/checkpoint events,
+	// the cluster node publishes degraded-mode transitions, and the
+	// operator log below consumes the ones worth a line. Slow output
+	// never backs up into a shard loop — the bus drops instead.
+	bus := notify.NewBus()
+	health := bus.Subscribe(256, notify.WritebackFailed, notify.NodeDegraded, notify.NodeRecovered, notify.PeerLost)
+	go func() {
+		for ev := range health.C() {
+			switch ev.Kind {
+			case notify.WritebackFailed:
+				out.printf("health: writeback failed for %q (shard %d): %s\n", ev.Household, ev.Shard, ev.Err)
+			case notify.NodeDegraded:
+				out.printf("health: degraded — pushes owed to peer %s: %s\n", ev.Addr, ev.Err)
+			case notify.NodeRecovered:
+				out.printf("health: recovered — peer %s owes nothing\n", ev.Addr)
+			case notify.PeerLost:
+				out.printf("health: peer %s left the ring\n", ev.Addr)
+			}
+		}
+	}()
+
 	// Clustered: the peer node wraps the checkpoint backend (replication
 	// to K peers at every flush) and owns household routing. The serving
 	// listener must be bound first — its real address is what redirected
@@ -159,6 +181,7 @@ func run(o options) error {
 			Replicas: o.replicas,
 			Local:    local,
 			Seed:     o.seed,
+			Bus:      bus,
 		})
 		if err != nil {
 			l.Close()
@@ -173,6 +196,7 @@ func run(o options) error {
 		Backend:   backend,
 		Format:    format,
 		IdleEvict: o.evict,
+		Bus:       bus,
 		OnLog:     func(msg string) { out.printf("%s\n", msg) },
 		NewSystem: func(household string) (coreda.SystemConfig, error) {
 			return coreda.SystemConfig{
@@ -251,6 +275,7 @@ func run(o options) error {
 		st := f.Stats()
 		out.printf("fleet stopped: %d events, %d admissions (%d recovered), %d evictions, %d checkpoints\n",
 			st.Events, st.Admissions, st.Recovered, st.Evictions, st.Checkpoints)
+		health.Close()
 		l.Close()
 	}()
 	return srv.Serve(l)

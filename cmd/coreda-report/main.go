@@ -5,47 +5,55 @@
 //
 // Usage:
 //
-//	coreda-report [-user "Mr. Tanaka"] trace.jsonl
+//	coreda-report [-user "Mr. Tanaka"] [-watch 2s] trace.jsonl
+//
+// With -watch the command stays up as a control-plane bus subscriber
+// (internal/report.Watch on an internal/notify bus): a poller publishes
+// a CheckpointDone event whenever the trace gains records — the offline
+// stand-in for the events a fleet's shards publish after checkpoint
+// waves — and the subscriber regenerates the report on each one. Run
+// against a trace that is still being appended to, the report refreshes
+// as sessions land.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"coreda"
+	"coreda/internal/notify"
 	"coreda/internal/report"
 	"coreda/internal/trace"
 )
 
 func main() {
 	user := flag.String("user", "the care recipient", "user name shown in the report")
+	watch := flag.Duration("watch", 0, "regenerate whenever the trace grows, polling at this interval (0 renders once and exits)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: coreda-report [-user name] trace.jsonl")
+		fmt.Fprintln(os.Stderr, "usage: coreda-report [-user name] [-watch interval] trace.jsonl")
 		os.Exit(2)
 	}
-	if err := run(*user, flag.Arg(0)); err != nil {
+	var err error
+	if *watch > 0 {
+		err = runWatch(*user, flag.Arg(0), *watch)
+	} else {
+		err = run(*user, flag.Arg(0))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "coreda-report:", err)
 		os.Exit(1)
 	}
 }
 
-func run(user, path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	records, err := trace.Read(f)
-	if err != nil {
-		return err
-	}
-
-	// Step counts and tool names from the standard library; activities
-	// declared via -activity-file appear with generic tool labels.
-	stepCounts := map[string]int{}
-	toolNames := map[uint16]string{}
+// knownActivities returns step counts and tool names from the standard
+// library; activities declared via -activity-file appear with generic
+// tool labels.
+func knownActivities() (stepCounts map[string]int, toolNames map[uint16]string) {
+	stepCounts = map[string]int{}
+	toolNames = map[uint16]string{}
 	for _, a := range []*coreda.Activity{
 		coreda.ToothBrushing(), coreda.TeaMaking(), coreda.HandWashing(), coreda.Medication(), coreda.Dressing(),
 	} {
@@ -54,12 +62,70 @@ func run(user, path string) error {
 			toolNames[uint16(id)] = tool.Name
 		}
 	}
+	return stepCounts, toolNames
+}
 
+// render reads the trace and prints the report, returning the record
+// count so the watch poller can detect growth.
+func render(user, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	records, err := trace.Read(f)
+	if err != nil {
+		return 0, err
+	}
+
+	stepCounts, toolNames := knownActivities()
 	r := report.Build(user, records, stepCounts)
 	fmt.Print(r.Render(toolNames))
 
 	sum := trace.Summarize(records)
 	fmt.Printf("\ntrace: %d sessions, %d steps, %d idle events, %d reminders, %d praises\n",
 		sum.Sessions, sum.Steps, sum.Idles, sum.Reminders, sum.Praises)
-	return nil
+	return len(records), nil
+}
+
+func run(user, path string) error {
+	_, err := render(user, path)
+	return err
+}
+
+// runWatch renders once, then keeps regenerating: the poller publishes
+// CheckpointDone onto a local bus whenever the trace gains records, and
+// the report.Watch subscriber — the same consumer an embedded fleet bus
+// would drive — re-renders on each event.
+func runWatch(user, path string, every time.Duration) error {
+	seen, err := render(user, path)
+	if err != nil {
+		return err
+	}
+
+	bus := notify.NewBus()
+	w := report.Watch(bus, 0, func(fresh int) {
+		fmt.Printf("\n--- %d new records ---\n", fresh)
+		if _, err := render(user, path); err != nil {
+			fmt.Fprintln(os.Stderr, "coreda-report:", err)
+		}
+	})
+	defer w.Stop()
+
+	for {
+		time.Sleep(every)
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		records, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if len(records) > seen {
+			bus.Publish(notify.Event{Kind: notify.CheckpointDone, Count: len(records) - seen})
+			seen = len(records)
+		}
+	}
 }

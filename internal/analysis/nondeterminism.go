@@ -22,6 +22,13 @@ import (
 // virtual boundary and marks each wall-clock line with a vet-ignore
 // directive, so any new undirected use of the wall clock in the package
 // is an error.
+//
+// internal/queue and internal/notify are scoped: the control queue's
+// dispatch order and retry outcomes must be a pure function of the
+// enqueued work (drain latency comes from an injected Clock, jitter
+// from named sim.RNG streams), and the bus must stay a passive fabric —
+// a wall-clock read or global rand draw in either would leak
+// scheduling noise into every digest the fleet gates on.
 var simScoped = []string{
 	"coreda/internal/core",
 	"coreda/internal/sim",
@@ -32,6 +39,8 @@ var simScoped = []string{
 	"coreda/internal/persona",
 	"coreda/internal/baseline",
 	"coreda/internal/fleet",
+	"coreda/internal/queue",
+	"coreda/internal/notify",
 }
 
 // wallClockFuncs are the time package entry points that read or depend on

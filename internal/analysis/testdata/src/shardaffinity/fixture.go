@@ -1,10 +1,14 @@
 // Fixture for the shardaffinity analyzer, type-checked as
 // coreda/internal/fleet: tenants belong to their shard loop, goroutines
 // belong to the two sanctioned spawners, and the only off-loop tenant
-// use is the direct save call inside a parrun.Map worker.
+// use is the direct save call inside a parrun.Map worker or a
+// queue.Job Run closure.
 package fleet
 
-import "coreda/internal/parrun"
+import (
+	"coreda/internal/parrun"
+	"coreda/internal/queue"
+)
 
 // Tenant mirrors the fleet tenant: the analyzer matches the type by
 // name and defining package.
@@ -66,6 +70,36 @@ func (s *shard) drainBad(fsync bool) {
 		t.lastEvent = 0  // want `tenant reached inside a parrun\.Map worker`
 		return nil, nil
 	})
+}
+
+// enqueueGood is the sanctioned control-job pattern: the Run closure
+// touches its tenant only through the direct save call, and the Done
+// callback — which runs back on the draining goroutine — updates the
+// tenant freely.
+func (s *shard) enqueueGood(ctl *queue.Queue, sv *Saver, fsync bool) {
+	for _, t := range s.evictq {
+		t := t
+		ctl.Enqueue(queue.Job{
+			Label: t.ID,
+			Run:   func() error { return t.save(sv, fsync) },
+			Done:  func(error) { t.lastEvent = 0 },
+		})
+	}
+}
+
+// enqueueBad touches tenant state inside Run — a drain worker mutating
+// loop-owned state.
+func (s *shard) enqueueBad(ctl *queue.Queue) {
+	for _, t := range s.evictq {
+		t := t
+		ctl.Enqueue(queue.Job{
+			Label: t.ID,
+			Run: func() error {
+				t.lastEvent = 0 // want `tenant reached inside a queue\.Job Run closure`
+				return nil
+			},
+		})
+	}
 }
 
 // spawnInDrain launches a goroutine outside the sanctioned spawners.

@@ -1,0 +1,48 @@
+// Fixture for the shardaffinity analyzer's queue scope, type-checked
+// as coreda/internal/queue: the worker-pool launch inside
+// (*Queue).dispatch is the package's only sanctioned spawner. Drain is
+// a synchronization point — anything else handing work to another
+// goroutine would detach jobs from the drain boundary the digest gates
+// rely on.
+package queue
+
+type job struct{ seq int }
+
+// Queue mirrors the control-plane queue: the analyzer matches the
+// sanctioned spawner by receiver type and method name.
+type Queue struct{ pending []*job }
+
+func (q *Queue) runJob(j *job) {}
+
+// dispatch is the sanctioned spawner: the bounded worker pool a drain
+// fans jobs out over.
+func (q *Queue) dispatch(jobs []*job, workers int) {
+	work := make(chan *job)
+	for w := 0; w < workers; w++ {
+		go func() {
+			for j := range work {
+				q.runJob(j)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+}
+
+// Enqueue must stay a synchronous append: a spawn here would run the
+// job outside any drain.
+func (q *Queue) Enqueue(j *job) {
+	go q.runJob(j) // want `goroutine spawned in \(\*Queue\)\.Enqueue`
+}
+
+// Drain itself may not spawn either — only its dispatch helper.
+func (q *Queue) Drain(jobs []*job) {
+	done := make(chan struct{})
+	go func() { // want `goroutine spawned in \(\*Queue\)\.Drain`
+		q.dispatch(jobs, 1)
+		close(done)
+	}()
+	<-done
+}

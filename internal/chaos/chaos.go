@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"time"
 
+	"coreda/internal/queue"
 	"coreda/internal/sensornet"
 	"coreda/internal/sim"
 )
@@ -108,6 +109,13 @@ type Plan struct {
 	// Procs are scheduled whole-process faults, executed by the cluster
 	// soak driver (the in-process Injector ignores them).
 	Procs []ProcEvent `json:"procs,omitempty"`
+	// JobFail is the probability a control-plane queue job (an eviction
+	// writeback, a checkpoint write, a replica push) fails injected
+	// attempts before running for real — it exercises the queue's
+	// retry/backoff path without ever changing a job's outcome (the
+	// queue caps injected failures below the attempt budget). Drawn on
+	// a dedicated stream via JobInjector, never on the frame stream.
+	JobFail float64 `json:"job_fail,omitempty"`
 }
 
 // Validate rejects plans that cannot be executed faithfully.
@@ -115,7 +123,7 @@ func (p *Plan) Validate() error {
 	for _, pr := range []struct {
 		name string
 		v    float64
-	}{{"drop", p.Drop}, {"corrupt", p.Corrupt}, {"duplicate", p.Duplicate}, {"reorder", p.Reorder}} {
+	}{{"drop", p.Drop}, {"corrupt", p.Corrupt}, {"duplicate", p.Duplicate}, {"reorder", p.Reorder}, {"job_fail", p.JobFail}} {
 		if pr.v < 0 || pr.v > 1 {
 			return fmt.Errorf("chaos: %s probability %v outside [0,1]", pr.name, pr.v)
 		}
@@ -271,4 +279,21 @@ func (inj *Injector) OnFrame(now time.Duration, toGateway bool, uid uint16, fram
 		act.ExtraDelay = delay
 	}
 	return act
+}
+
+// JobInjector adapts the plan's JobFail probability to a queue
+// injection hook. Exactly one rng draw per enqueued job — a fixed
+// consumption pattern on the caller-provided stream (conventionally
+// sim.RNG(seed, "chaos/jobs/<shard>")), so the fault sequence is a pure
+// function of plan, seed and enqueue order, at any worker count. A hit
+// fails the job's first attempt; the queue's cap below the attempt
+// budget guarantees the job still completes, so injection perturbs only
+// retry counters and backoff timing — never a policy file.
+func (p *Plan) JobInjector(rng *rand.Rand) queue.InjectFunc {
+	return func(queue.Class, string) int {
+		if rng.Float64() < p.JobFail {
+			return 1
+		}
+		return 0
+	}
 }

@@ -58,6 +58,7 @@ func TestPlanJSONRoundTrip(t *testing.T) {
 			{At: time.Second, UID: 1, Op: OpReboot},
 			{At: 2 * time.Second, UID: 2, Op: OpDrain, Amount: 10},
 		},
+		JobFail: 0.15,
 	}
 	data, err := json.Marshal(p)
 	if err != nil {
@@ -83,6 +84,8 @@ func TestPlanValidate(t *testing.T) {
 		{"unknown op", Plan{Nodes: []NodeEvent{{UID: 1, Op: "explode"}}}},
 		{"drain without amount", Plan{Nodes: []NodeEvent{{UID: 1, Op: OpDrain}}}},
 		{"negative event time", Plan{Nodes: []NodeEvent{{At: -time.Second, UID: 1, Op: OpCrash}}}},
+		{"job_fail above one", Plan{JobFail: 1.01}},
+		{"negative job_fail", Plan{JobFail: -0.5}},
 	}
 	for _, tc := range cases {
 		if err := tc.plan.Validate(); err == nil {
@@ -255,5 +258,38 @@ func TestNewRejectsBadInput(t *testing.T) {
 	}
 	if _, err := New(&Plan{Drop: 2}, sched, sim.RNG(1, "chaos")); err == nil {
 		t.Error("New accepted an invalid plan")
+	}
+}
+
+// TestJobInjectorDeterminism: same plan + same stream = same injected
+// fault sequence, and the draw count is one per job regardless of hits.
+func TestJobInjectorDeterminism(t *testing.T) {
+	plan := &Plan{JobFail: 0.4}
+	seq := func() []int {
+		inject := plan.JobInjector(sim.RNG(7, "chaos/jobs"))
+		var out []int
+		for i := 0; i < 200; i++ {
+			out = append(out, inject("eviction", "h00001"))
+		}
+		return out
+	}
+	a, b := seq(), seq()
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault sequence diverged at job %d", i)
+		}
+		hits += a[i]
+	}
+	if hits == 0 || hits == len(a) {
+		t.Fatalf("JobFail=0.4 over %d jobs hit %d times — stream not exercised", len(a), hits)
+	}
+	// A zero-probability plan draws but never fails: consumption stays
+	// fixed so enabling the knob cannot shift other draws on the stream.
+	never := (&Plan{}).JobInjector(sim.RNG(7, "chaos/jobs"))
+	for i := 0; i < 50; i++ {
+		if never("checkpoint", "h00002") != 0 {
+			t.Fatal("zero-probability injector failed a job")
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"coreda/internal/fleet"
+	"coreda/internal/notify"
 	"coreda/internal/sim"
 	"coreda/internal/store"
 	"coreda/internal/wire"
@@ -39,6 +40,12 @@ type NodeConfig struct {
 	// (tests bind :0 first so the address is known before the ring is
 	// built). Nil means Start listens on PeerAddr.
 	Listener net.Listener
+	// Bus, if non-nil, is the control-plane event bus. The replicating
+	// backend publishes NodeDegraded/NodeRecovered on a peer's
+	// pending-push transitions, RemovePeer publishes PeerLost, and
+	// Start subscribes the node to WritebackFailed events (the fleet's
+	// failed eviction writebacks), folding them into Health.
+	Bus *notify.Bus
 }
 
 // Node is one cluster member: it owns the slot ranges the ring assigns
@@ -61,6 +68,9 @@ type Node struct {
 	links     map[string]*peer  // outbound, by peer addr
 	nodeAddrs map[string]string // peer addr -> its advertised NodeAddr
 	slotAddr  []string          // slot -> owner NodeAddr per accepted RangeClaims
+
+	watchers       []*notify.Listener // bus subscriptions, closed by Close
+	writebackFails int                // WritebackFailed events observed via WatchBus
 
 	ln     net.Listener
 	conns  map[net.Conn]bool // inbound peer conns, for Close
@@ -94,6 +104,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		conns:     make(map[net.Conn]bool),
 	}
 	n.rb = NewReplicatingBackend(cfg.Local, n.replicasFor, n.sendReplica)
+	if cfg.Bus != nil {
+		n.rb.SetBus(cfg.Bus)
+	}
 	return n, nil
 }
 
@@ -125,7 +138,63 @@ func (n *Node) Start() error {
 	n.ln = ln
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if n.cfg.Bus != nil {
+		n.WatchBus(n.cfg.Bus)
+	}
 	return nil
+}
+
+// WatchBus subscribes the node to bus's WritebackFailed events — fleet
+// eviction writebacks that failed after retries — and folds them into
+// Health's degraded accounting. The listener drains on its own
+// goroutine (stopped by Close), so a busy node never blocks the
+// publishing shard loop; the bus drops instead of waiting. Start calls
+// this with NodeConfig.Bus; call it directly to watch a second bus
+// (e.g. a fleet bus distinct from the cluster's).
+func (n *Node) WatchBus(bus *notify.Bus) {
+	l := bus.Subscribe(256, notify.WritebackFailed)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		l.Close()
+		return
+	}
+	n.watchers = append(n.watchers, l)
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for range l.C() {
+			n.mu.Lock()
+			n.writebackFails++
+			n.mu.Unlock()
+		}
+	}()
+}
+
+// Health is the node's degraded-mode snapshot: what the operator (or a
+// supervising driver) reads to decide whether this member needs help.
+type Health struct {
+	// WritebackFailures counts WritebackFailed bus events observed —
+	// local eviction checkpoints that could not be written.
+	WritebackFailures int
+	// PendingPushes counts replica pushes owed to peers from failed
+	// barriers.
+	PendingPushes int
+	// DegradedPeers counts peers currently owed at least one push.
+	DegradedPeers int
+}
+
+// Health snapshots the node's degraded-mode accounting.
+func (n *Node) Health() Health {
+	n.mu.Lock()
+	wf := n.writebackFails
+	n.mu.Unlock()
+	return Health{
+		WritebackFailures: wf,
+		PendingPushes:     n.rb.Pending(),
+		DegradedPeers:     n.rb.DegradedPeers(),
+	}
 }
 
 // Close stops serving and closes every peer link.
@@ -145,6 +214,8 @@ func (n *Node) Close() {
 	for c := range n.conns {
 		conns = append(conns, c)
 	}
+	watchers := n.watchers
+	n.watchers = nil
 	n.mu.Unlock()
 	if ln != nil {
 		ln.Close()
@@ -154,6 +225,9 @@ func (n *Node) Close() {
 	}
 	for _, c := range conns {
 		c.Close()
+	}
+	for _, l := range watchers {
+		l.Close()
 	}
 	n.wg.Wait()
 }
@@ -288,6 +362,9 @@ func (n *Node) RemovePeer(dead string) ([]string, error) {
 		link.Close()
 	}
 	n.rb.DropPeer(dead)
+	if n.cfg.Bus != nil {
+		n.cfg.Bus.Publish(notify.Event{Kind: notify.PeerLost, Addr: dead})
+	}
 
 	// Adopt: every stored blob now owned by us but not before. The
 	// store holds exactly our tenants plus the replicas we were ranked

@@ -10,6 +10,7 @@ import (
 	"coreda"
 	"coreda/internal/adl"
 	"coreda/internal/fleet"
+	"coreda/internal/notify"
 	"coreda/internal/retry"
 	"coreda/internal/sim"
 	"coreda/internal/store"
@@ -366,5 +367,58 @@ func TestHandoffStaleEpochRefused(t *testing.T) {
 	}
 	if _, err := receiver.local.Get("h00000", nil); !errors.Is(err, store.ErrNoCheckpoint) {
 		t.Fatalf("stale handoff blob was stored: err = %v", err)
+	}
+}
+
+// TestNodeBusPeerLostAndHealth: the node's bus wiring — a fleet-side
+// WritebackFailed event folds into Health via the WatchBus subscription
+// Start installs, and RemovePeer announces the departure as PeerLost.
+func TestNodeBusPeerLostAndHealth(t *testing.T) {
+	bus := notify.NewBus()
+	lost := bus.Subscribe(16, notify.PeerLost)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	const ghost = "10.9.9.9:1"
+	n, err := NewNode(NodeConfig{
+		PeerAddr: addr,
+		Peers:    []string{addr, ghost},
+		Replicas: 1,
+		Local:    store.NewMemBackend(),
+		Listener: ln,
+		Bus:      bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+
+	if h := n.Health(); h != (Health{}) {
+		t.Fatalf("fresh node unhealthy: %+v", h)
+	}
+	bus.Publish(notify.Event{Kind: notify.WritebackFailed, Household: "h00001", Err: "disk gone"})
+	deadline := time.Now().Add(5 * time.Second)
+	for n.Health().WritebackFailures == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("WritebackFailed event never reached Health")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := n.RemovePeer(ghost); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-lost.C():
+		if ev.Kind != notify.PeerLost || ev.Addr != ghost {
+			t.Fatalf("bus event = %+v, want PeerLost %s", ev, ghost)
+		}
+	default:
+		t.Fatal("no PeerLost event after RemovePeer")
 	}
 }

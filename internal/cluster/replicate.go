@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 
+	"coreda/internal/notify"
+	"coreda/internal/queue"
 	"coreda/internal/store"
 )
 
@@ -43,6 +45,8 @@ type ReplicatingBackend struct {
 
 	send  SendFunc
 	route RouteFunc
+	ctl   *queue.Queue // per-barrier push fan-out, drained by Sync
+	bus   *notify.Bus  // degraded-mode transitions (nil = silent)
 
 	mu    sync.Mutex
 	dirty map[string]bool // names written since the last Sync
@@ -52,6 +56,12 @@ type ReplicatingBackend struct {
 	stats   ReplicaStats
 }
 
+// pushWorkers bounds how many replica pushes run concurrently during a
+// Sync barrier. Each peer link stays strictly serial regardless — every
+// push carries a per-peer permit class capped at one in flight — so the
+// concurrency only overlaps pushes to *different* peers.
+const pushWorkers = 4
+
 // NewReplicatingBackend wraps local so every Put/PutStream-Commit is
 // queued for replication to route(name) at the next Sync via send.
 func NewReplicatingBackend(local store.Backend, route RouteFunc, send SendFunc) *ReplicatingBackend {
@@ -59,10 +69,20 @@ func NewReplicatingBackend(local store.Backend, route RouteFunc, send SendFunc) 
 		Backend: local,
 		send:    send,
 		route:   route,
+		ctl: queue.New(queue.Config{
+			Workers:       pushWorkers,
+			DefaultPermit: 1, // one in-flight push per peer link
+			Stream:        "cluster/replicate",
+		}),
 		dirty:   make(map[string]bool),
 		pending: make(map[string]map[string]bool),
 	}
 }
+
+// SetBus attaches the control-plane event bus: Sync publishes
+// NodeDegraded when a peer starts owing pushes and NodeRecovered when
+// its debt clears. Call before the first Sync.
+func (rb *ReplicatingBackend) SetBus(bus *notify.Bus) { rb.bus = bus }
 
 // Put writes locally and marks the name dirty for the next Sync.
 func (rb *ReplicatingBackend) Put(name string, data []byte, fsync bool) error {
@@ -126,11 +146,24 @@ func (rb *ReplicatingBackend) Pending() int {
 	return n
 }
 
+// DegradedPeers counts peers currently owed at least one push.
+func (rb *ReplicatingBackend) DegradedPeers() int {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	return len(rb.pending)
+}
+
 // Sync replicates every blob written since the last barrier (plus any
 // pushes still owed from earlier degraded barriers) to its replica
-// peers. Pushes to distinct peers run in a deterministic order (sorted
-// names, then each name's route order) because the soak digests depend
-// on replica state at the kill point.
+// peers. The pushes run as control-queue jobs: up to pushWorkers peers
+// are pushed to concurrently, but each peer link carries at most one
+// push at a time (per-peer permit class), in sorted-name order — the
+// link's conn checkout and jitter stream are consumed in a sequence
+// that is a pure function of the barrier's work set. The barrier state
+// after Sync returns is therefore deterministic even though the
+// wall-clock interleaving across peers is not, and the soak drivers
+// only ever observe completed barriers (a SIGKILLed worker skips its
+// barrier entirely).
 //
 // A push that fails (send exhausted its retries) is recorded as pending
 // and does not fail the barrier; Sync returns an error only when the
@@ -143,7 +176,9 @@ func (rb *ReplicatingBackend) Sync() error {
 		work[name] = nil
 	}
 	rb.dirty = make(map[string]bool)
+	owedBefore := make(map[string]bool, len(rb.pending))
 	for addr, names := range rb.pending {
+		owedBefore[addr] = true
 		for name := range names {
 			if work[name] == nil {
 				work[name] = make(map[string]bool)
@@ -160,6 +195,10 @@ func (rb *ReplicatingBackend) Sync() error {
 	}
 	sort.Strings(names)
 
+	// failErr records each degraded peer's first push error this barrier
+	// (written only by Done callbacks, which run serially on this
+	// goroutine in dispatch order).
+	failErr := make(map[string]string)
 	var firstErr error
 	for _, name := range names {
 		blob, err := rb.Backend.Get(name, nil)
@@ -180,26 +219,70 @@ func (rb *ReplicatingBackend) Sync() error {
 		}
 		for _, addr := range peers {
 			owed := extra[addr]
-			if err := rb.send(addr, name, blob, true); err != nil {
-				rb.mu.Lock()
-				if rb.pending[addr] == nil {
-					rb.pending[addr] = make(map[string]bool)
-				}
-				rb.pending[addr][name] = true
-				rb.stats.Failed++
-				rb.mu.Unlock()
-				log.Printf("cluster: replica push %s -> %s failed, degraded: %v", name, addr, err)
-				continue
+			rb.ctl.Enqueue(queue.Job{
+				Class: queue.Class("peer:" + addr),
+				Label: name,
+				Run: func() error {
+					return rb.send(addr, name, blob, true)
+				},
+				Done: func(err error) {
+					if err != nil {
+						rb.mu.Lock()
+						if rb.pending[addr] == nil {
+							rb.pending[addr] = make(map[string]bool)
+						}
+						rb.pending[addr][name] = true
+						rb.stats.Failed++
+						rb.mu.Unlock()
+						if _, seen := failErr[addr]; !seen {
+							failErr[addr] = err.Error()
+						}
+						log.Printf("cluster: replica push %s -> %s failed, degraded: %v", name, addr, err)
+						return
+					}
+					rb.mu.Lock()
+					rb.stats.Replicated++
+					if owed {
+						rb.stats.Degraded++
+					}
+					rb.mu.Unlock()
+				},
+			})
+		}
+	}
+	//coreda:vet-ignore droppederr push failures are recorded as pending by each job's Done, not surfaced to the barrier
+	_ = rb.ctl.Drain()
+
+	if rb.bus != nil {
+		rb.mu.Lock()
+		owedAfter := make(map[string]bool, len(rb.pending))
+		for addr := range rb.pending {
+			owedAfter[addr] = true
+		}
+		rb.mu.Unlock()
+		for _, addr := range sortedKeys(owedAfter) {
+			if !owedBefore[addr] {
+				rb.bus.Publish(notify.Event{Kind: notify.NodeDegraded, Addr: addr, Err: failErr[addr]})
 			}
-			rb.mu.Lock()
-			rb.stats.Replicated++
-			if owed {
-				rb.stats.Degraded++
+		}
+		for _, addr := range sortedKeys(owedBefore) {
+			if !owedAfter[addr] {
+				rb.bus.Publish(notify.Event{Kind: notify.NodeRecovered, Addr: addr})
 			}
-			rb.mu.Unlock()
 		}
 	}
 	return firstErr
+}
+
+// sortedKeys returns a map's keys in sorted order — bus transition
+// events publish in a deterministic sequence.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DropPeer forgets pushes owed to a peer that left the ring (its

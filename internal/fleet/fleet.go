@@ -36,11 +36,50 @@ import (
 	"time"
 
 	"coreda"
+	"coreda/internal/notify"
 	"coreda/internal/parrun"
+	"coreda/internal/queue"
 	"coreda/internal/reminding"
+	"coreda/internal/retry"
 	"coreda/internal/store"
 	"coreda/internal/wire"
 )
+
+// ControlMode selects how a shard executes its control-plane writes —
+// eviction writebacks and checkpoint waves.
+type ControlMode int
+
+// Control modes.
+const (
+	// ControlQueue (the default) routes control writes through a
+	// per-shard internal/queue: evictions and checkpoints become typed
+	// jobs drained at the same batch boundaries as before, with
+	// retry-with-backoff on failure. Dispatch order is deterministic
+	// (stable priority + FIFO), so policy files — and the parity digest
+	// — are byte-identical to ControlInline (gated in check.sh).
+	ControlQueue ControlMode = iota
+	// ControlInline is the pre-queue path: writes run directly on the
+	// drain loop via the parrun pool, with no retries. Kept as the
+	// parity baseline the queue-backed control plane is diffed against.
+	ControlInline
+)
+
+// Control-plane job classes and priorities: eviction writebacks drain
+// before checkpoint writes at a shared boundary (an evicted tenant's
+// file is its final state; a dirty tenant's file will be rewritten).
+const (
+	classEviction   queue.Class = "eviction"
+	classCheckpoint queue.Class = "checkpoint"
+	priEviction                 = 0
+	priCheckpoint               = 1
+)
+
+// ctlRetry is the control-job retry schedule: three attempts with a
+// sub-millisecond backoff, enough to ride out transient filesystem
+// hiccups without stretching a drain boundary.
+func ctlRetry() retry.Policy {
+	return retry.Policy{Attempts: 3, Base: 250 * time.Microsecond, Cap: time.Millisecond, Jitter: 0.5}
+}
 
 // Config parameterizes a Fleet.
 type Config struct {
@@ -76,6 +115,17 @@ type Config struct {
 	// OnLog receives human-readable event lines. Calls are serialized
 	// across shards; may be nil.
 	OnLog func(string)
+	// Control selects the control-plane execution path; the zero value
+	// is the queue-backed one (ControlQueue).
+	Control ControlMode
+	// Bus, if non-nil, receives control-plane events (notify.TenantDirty,
+	// EvictionQueued, CheckpointDone, WritebackFailed). Publishing never
+	// blocks a shard loop; correctness never depends on delivery.
+	Bus *notify.Bus
+	// JobInject, if non-nil, supplies each shard's chaos injection hook
+	// for control-queue jobs (see chaos.Plan.JobInjector). Ignored
+	// under ControlInline.
+	JobInject func(shard int) queue.InjectFunc
 }
 
 // EventKind says what a fleet event carries.
@@ -133,6 +183,14 @@ type Stats struct {
 	// Dropped counts events discarded because their household ID was
 	// invalid or admission failed.
 	Dropped int
+	// WritebackFailures counts queued eviction writebacks that failed
+	// (after retries, under ControlQueue); each resurrected its tenant
+	// and published a notify.WritebackFailed event.
+	WritebackFailures int
+	// JobRetries counts extra control-job attempts beyond the first
+	// (real failures plus chaos-injected ones); always zero under
+	// ControlInline, which does not retry.
+	JobRetries int
 }
 
 func (s *Stats) add(o Stats) {
@@ -145,6 +203,8 @@ func (s *Stats) add(o Stats) {
 	s.RecoveryErrors += o.RecoveryErrors
 	s.Resident += o.Resident
 	s.Dropped += o.Dropped
+	s.WritebackFailures += o.WritebackFailures
+	s.JobRetries += o.JobRetries
 }
 
 // Fleet lifecycle states (Fleet.state).
@@ -216,9 +276,17 @@ type shard struct {
 	// saver holds the reusable checkpoint encode buffers shared by every
 	// tenant on this shard.
 	saver store.MultiSaver
-	// psavers are the per-worker savers of flushParallel, created lazily
-	// and reused across flushes.
+	// psavers are the per-worker savers of the parallel write paths,
+	// created lazily and reused across flushes; free is the checkout
+	// channel control-queue jobs borrow them through.
 	psavers []*store.MultiSaver
+	free    chan *store.MultiSaver
+	// ctl is the shard's control-plane queue (ControlQueue mode); nil
+	// under ControlInline. Eviction writebacks and checkpoint waves are
+	// enqueued on it and drained at the same boundaries the inline path
+	// used — the queue changes who runs the writes, never when they are
+	// complete (Drain is a synchronization point).
+	ctl *queue.Queue
 }
 
 // flushWriters is how many checkpoint files a batch flush writes
@@ -266,6 +334,23 @@ func New(cfg Config) (*Fleet, error) {
 			known:   make(map[string]bool),
 		}
 		s.saver.Format = cfg.Format
+		if cfg.Control == ControlQueue {
+			var inject queue.InjectFunc
+			if cfg.JobInject != nil {
+				inject = cfg.JobInject(i)
+			}
+			s.ctl = queue.New(queue.Config{
+				Workers: flushWriters,
+				Permits: map[queue.Class]int{
+					classEviction:   flushWriters,
+					classCheckpoint: flushWriters,
+				},
+				Retry:  ctlRetry(),
+				Seed:   int64(i),
+				Stream: "fleet/ctl",
+				Inject: inject,
+			})
+		}
 		f.shards = append(f.shards, s)
 	}
 	// One backend enumeration seeds every shard's known-checkpoint set,
@@ -390,6 +475,7 @@ func (s *shard) evictNow(household string) error {
 	delete(s.dirty, household)
 	s.known[household] = true
 	s.stats.Checkpoints++
+	s.publishCheckpointDone(1)
 	delete(s.tenants, household)
 	if s.lastT == t {
 		s.lastID, s.lastT = "", nil
@@ -440,21 +526,29 @@ func (f *Fleet) Stats() Stats {
 	var out Stats
 	if !running {
 		for _, s := range f.shards {
-			st := s.stats
-			st.Resident = len(s.tenants)
-			out.add(st)
+			out.add(s.snapshot())
 		}
 		return out
 	}
 	var mu sync.Mutex
 	f.barrier(func(s *shard) {
-		st := s.stats
-		st.Resident = len(s.tenants)
+		st := s.snapshot()
 		mu.Lock()
 		out.add(st)
 		mu.Unlock()
 	})
 	return out
+}
+
+// snapshot is one shard's counter view, folding in the control queue's
+// retry count (the drain-level counters live in the queue).
+func (s *shard) snapshot() Stats {
+	st := s.stats
+	st.Resident = len(s.tenants)
+	if s.ctl != nil {
+		st.JobRetries = s.ctl.Stats().Retried
+	}
+	return st
 }
 
 // Stop drains every shard, checkpoints all remaining dirty tenants
@@ -551,17 +645,30 @@ func (s *shard) handle(ev Event) {
 		u.At = at
 		t.Hub.HandleUsage(u)
 		t.lastEvent = at
-		s.dirty[t.ID] = t
+		s.markDirty(t)
 		s.stats.Events++
 	case EventNodeState:
 		t.Hub.HandleNodeState(ev.Tool, ev.Online)
 		t.lastEvent = at
-		s.dirty[t.ID] = t
+		s.markDirty(t)
 		s.stats.NodeStates++
 	case EventAdvance:
 		// Clock only; the eviction check below does the rest.
 	}
 	s.maybeEvict(t)
+}
+
+// markDirty records that t has events since its last checkpoint. The
+// first transition (per checkpoint cycle) is published as TenantDirty;
+// repeat events on an already-dirty tenant publish nothing, so the bus
+// sees dirty-set transitions, not traffic.
+func (s *shard) markDirty(t *Tenant) {
+	if bus := s.f.cfg.Bus; bus != nil {
+		if _, ok := s.dirty[t.ID]; !ok {
+			bus.Publish(notify.Event{Kind: notify.TenantDirty, Household: t.ID, Shard: s.idx})
+		}
+	}
+	s.dirty[t.ID] = t
 }
 
 // admit returns the resident tenant, spinning it up from its checkpoint
@@ -628,17 +735,31 @@ func (s *shard) maybeEvict(t *Tenant) {
 		// membership moves with it.
 		delete(s.dirty, t.ID)
 		s.evictq = append(s.evictq, t)
+		if bus := s.f.cfg.Bus; bus != nil {
+			bus.Publish(notify.Event{Kind: notify.EvictionQueued, Household: t.ID, Shard: s.idx})
+		}
 		return
 	}
 	s.f.log("shard %d: evicted %s (idle %v)", s.idx, t.ID, t.Sched.Now()-t.lastEvent)
 }
 
 // drainEvictions writes the final checkpoints of tenants evicted since
-// the last drain, in eviction order, through the parallel writer pool
-// when the queue is large enough. A tenant whose write fails is
-// re-admitted instead of losing its learning.
+// the last drain, in eviction order. Under ControlQueue the writes are
+// control-queue jobs (retried with backoff, consumed by the shared
+// writer pool); under ControlInline they run directly through parrun.
+// Either way the shard loop blocks until every write returned, and a
+// tenant whose write fails is re-admitted instead of losing its
+// learning.
 func (s *shard) drainEvictions(fsync bool) {
 	if len(s.evictq) == 0 {
+		return
+	}
+	if s.ctl != nil {
+		pre := s.stats.Checkpoints
+		s.enqueueEvictions(fsync)
+		//coreda:vet-ignore droppederr per-job errors are handled by each job's Done (finishEvict)
+		_ = s.ctl.Drain()
+		s.publishCheckpointDone(s.stats.Checkpoints - pre)
 		return
 	}
 	if len(s.evictq) >= minParallelFlush {
@@ -654,29 +775,82 @@ func (s *shard) drainEvictions(fsync bool) {
 			free <- sv
 			return err, nil
 		})
+		pre := s.stats.Checkpoints
 		for i, t := range s.evictq {
 			s.finishEvict(t, errs[i])
 		}
-	} else {
-		for _, t := range s.evictq {
-			s.finishEvict(t, t.save(s.f.backend, &s.saver, fsync))
-		}
+		s.clearEvictq()
+		s.publishCheckpointDone(s.stats.Checkpoints - pre)
+		return
 	}
+	pre := s.stats.Checkpoints
+	for _, t := range s.evictq {
+		s.finishEvict(t, t.save(s.f.backend, &s.saver, fsync))
+	}
+	s.clearEvictq()
+	s.publishCheckpointDone(s.stats.Checkpoints - pre)
+}
+
+// enqueueEvictions turns the eviction queue into control-queue jobs (at
+// eviction priority, ahead of checkpoint writes sharing the drain) and
+// empties it; the caller owns the Drain. Each job borrows a pooled
+// saver, writes one tenant's final checkpoint, and completes back on
+// the loop goroutine via finishEvict.
+func (s *shard) enqueueEvictions(fsync bool) {
+	s.ensurePsavers()
+	for _, t := range s.evictq {
+		t := t
+		s.ctl.Enqueue(queue.Job{
+			Class:    classEviction,
+			Priority: priEviction,
+			Label:    t.ID,
+			Run: func() error {
+				sv := <-s.free
+				err := t.save(s.f.backend, sv, fsync)
+				s.free <- sv
+				return err
+			},
+			Done: func(err error) { s.finishEvict(t, err) },
+		})
+	}
+	s.clearEvictq()
+}
+
+// clearEvictq empties the eviction queue without dropping its capacity.
+func (s *shard) clearEvictq() {
 	for i := range s.evictq {
 		s.evictq[i] = nil
 	}
 	s.evictq = s.evictq[:0]
 }
 
+// publishCheckpointDone announces a finished checkpoint wave of n files
+// on the bus (no-op when nothing was written or no bus is wired).
+func (s *shard) publishCheckpointDone(n int) {
+	if n <= 0 {
+		return
+	}
+	if bus := s.f.cfg.Bus; bus != nil {
+		bus.Publish(notify.Event{Kind: notify.CheckpointDone, Shard: s.idx, Count: n})
+	}
+}
+
 // finishEvict completes one queued eviction after its checkpoint write
 // returned. On failure the tenant is resurrected — it never left memory
-// — exactly as an inline eviction would have kept it.
+// — exactly as an inline eviction would have kept it; the failure is no
+// longer silent: it counts as a writeback failure and is published on
+// the bus, where the cluster layer folds it into degraded-mode
+// accounting (notify.WritebackFailed).
 func (s *shard) finishEvict(t *Tenant, err error) {
 	if err != nil {
 		s.f.log("shard %d: evict %s: %v", s.idx, t.ID, err)
 		s.tenants[t.ID] = t
 		s.dirty[t.ID] = t
 		s.stats.Evictions--
+		s.stats.WritebackFailures++
+		if bus := s.f.cfg.Bus; bus != nil {
+			bus.Publish(notify.Event{Kind: notify.WritebackFailed, Household: t.ID, Shard: s.idx, Err: err.Error()})
+		}
 		return
 	}
 	s.known[t.ID] = true
@@ -695,7 +869,9 @@ func (s *shard) writebackEvicted(household string) *Tenant {
 			continue
 		}
 		s.evictq = append(s.evictq[:i], s.evictq[i+1:]...)
+		pre := s.stats.Checkpoints
 		s.finishEvict(t, t.save(s.f.backend, &s.saver, false))
+		s.publishCheckpointDone(s.stats.Checkpoints - pre)
 		if rt, ok := s.tenants[household]; ok {
 			return rt
 		}
@@ -720,7 +896,17 @@ func (s *shard) advanceAll(to time.Duration) {
 // It walks the dirty set, not the full resident map, so the cost of a
 // periodic flush scales with how many households actually changed;
 // iteration is sorted for deterministic write order.
+//
+// Under ControlQueue the wave is one combined drain: pending eviction
+// writebacks are enqueued at eviction priority, the sorted dirty set at
+// checkpoint priority, and a single Drain runs both — the priority
+// ordering reproduces the evictions-first sequencing the inline path
+// gets from calling drainEvictions up front.
 func (s *shard) flush(fsync bool) {
+	if s.ctl != nil {
+		s.flushQueued(fsync)
+		return
+	}
 	s.drainEvictions(fsync)
 	if len(s.dirty) == 0 {
 		return
@@ -730,15 +916,61 @@ func (s *shard) flush(fsync bool) {
 		s.flushIDs = append(s.flushIDs, id)
 	}
 	sort.Strings(s.flushIDs)
+	pre := s.stats.Checkpoints
 	if len(s.flushIDs) >= minParallelFlush {
 		s.flushParallel(fsync)
-		return
-	}
-	for _, id := range s.flushIDs {
-		if err := s.checkpoint(s.dirty[id], fsync); err != nil {
-			s.f.log("shard %d: checkpoint %s: %v", s.idx, id, err)
+	} else {
+		for _, id := range s.flushIDs {
+			if err := s.checkpoint(s.dirty[id], fsync); err != nil {
+				s.f.log("shard %d: checkpoint %s: %v", s.idx, id, err)
+			}
 		}
 	}
+	s.publishCheckpointDone(s.stats.Checkpoints - pre)
+}
+
+// flushQueued is flush under ControlQueue: evictions and dirty-tenant
+// checkpoints become jobs of one drain.
+func (s *shard) flushQueued(fsync bool) {
+	if len(s.evictq) == 0 && len(s.dirty) == 0 {
+		return
+	}
+	pre := s.stats.Checkpoints
+	if len(s.evictq) > 0 {
+		s.enqueueEvictions(fsync)
+	}
+	s.ensurePsavers()
+	s.flushIDs = s.flushIDs[:0]
+	for id := range s.dirty {
+		s.flushIDs = append(s.flushIDs, id)
+	}
+	sort.Strings(s.flushIDs)
+	for _, id := range s.flushIDs {
+		id, t := id, s.dirty[id]
+		s.ctl.Enqueue(queue.Job{
+			Class:    classCheckpoint,
+			Priority: priCheckpoint,
+			Label:    id,
+			Run: func() error {
+				sv := <-s.free
+				err := t.save(s.f.backend, sv, fsync)
+				s.free <- sv
+				return err
+			},
+			Done: func(err error) {
+				if err != nil {
+					s.f.log("shard %d: checkpoint %s: %v", s.idx, id, err)
+					return
+				}
+				delete(s.dirty, id)
+				s.known[id] = true
+				s.stats.Checkpoints++
+			},
+		})
+	}
+	//coreda:vet-ignore droppederr per-job errors are handled by each job's Done callback
+	_ = s.ctl.Drain()
+	s.publishCheckpointDone(s.stats.Checkpoints - pre)
 }
 
 // flushParallel writes the sorted dirty tenants' checkpoint files
@@ -775,15 +1007,19 @@ func (s *shard) flushParallel(fsync bool) {
 	}
 }
 
-// ensurePsavers lazily builds the per-worker saver pool shared by
-// flushParallel and drainEvictions.
+// ensurePsavers lazily builds the per-worker saver pool shared by the
+// parallel write paths, plus the checkout channel control-queue jobs
+// borrow savers through (filled once; every job returns its saver
+// before Drain completes, so the pool stays full between waves).
 func (s *shard) ensurePsavers() {
 	if s.psavers != nil {
 		return
 	}
 	s.psavers = make([]*store.MultiSaver, flushWriters)
+	s.free = make(chan *store.MultiSaver, flushWriters)
 	for i := range s.psavers {
 		s.psavers[i] = &store.MultiSaver{Format: s.f.cfg.Format}
+		s.free <- s.psavers[i]
 	}
 }
 

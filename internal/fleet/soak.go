@@ -5,11 +5,15 @@ import (
 	"encoding/hex"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"coreda"
 	"coreda/internal/adl"
+	"coreda/internal/chaos"
+	"coreda/internal/notify"
 	"coreda/internal/parrun"
+	"coreda/internal/queue"
 	"coreda/internal/sim"
 	"coreda/internal/store"
 )
@@ -43,6 +47,18 @@ type SoakConfig struct {
 	IdleEvict time.Duration
 	// OnLog receives fleet log lines (may be nil).
 	OnLog func(string)
+	// Control selects the fleet's control-plane path (zero =
+	// queue-backed). The digest must not depend on it — that is the
+	// queue-parity gate in check.sh.
+	Control ControlMode
+	// Bus, if non-nil, receives the fleet's control-plane events.
+	Bus *notify.Bus
+	// JobFail is the chaos job-failure probability: each control-queue
+	// job fails injected attempts with this probability, drawn on the
+	// per-shard "chaos/jobs/<shard>" stream, exercising retry/backoff
+	// without changing any outcome (or the digest). Zero injects
+	// nothing; ignored under ControlInline.
+	JobFail float64
 }
 
 // SoakResult is what a soak run produced. Every field is deterministic
@@ -84,12 +100,14 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		return SoakResult{}, err
 	}
 
-	f, err := New(Config{
+	fcfg := Config{
 		Shards:    cfg.Shards,
 		Dir:       cfg.Dir,
 		Format:    cfg.Format,
 		IdleEvict: cfg.IdleEvict,
 		OnLog:     cfg.OnLog,
+		Control:   cfg.Control,
+		Bus:       cfg.Bus,
 		NewSystem: func(household string) (coreda.SystemConfig, error) {
 			return coreda.SystemConfig{
 				Activity: adl.TeaMaking(),
@@ -97,7 +115,17 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 				Seed:     SeedFor(cfg.Seed, household),
 			}, nil
 		},
-	})
+	}
+	if cfg.JobFail > 0 {
+		plan := &chaos.Plan{JobFail: cfg.JobFail}
+		if err := plan.Validate(); err != nil {
+			return SoakResult{}, err
+		}
+		fcfg.JobInject = func(shard int) queue.InjectFunc {
+			return plan.JobInjector(sim.RNG(cfg.Seed, "chaos/jobs/"+strconv.Itoa(shard)))
+		}
+	}
+	f, err := New(fcfg)
 	if err != nil {
 		return SoakResult{}, err
 	}

@@ -1,0 +1,163 @@
+package notify
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFilterAndSeq: listeners see only their kinds, in publish order,
+// with monotonically increasing bus sequence numbers.
+func TestFilterAndSeq(t *testing.T) {
+	t.Parallel()
+	b := NewBus()
+	all := b.Subscribe(16)
+	filtered := b.Subscribe(16, CheckpointDone, WritebackFailed)
+	b.Publish(Event{Kind: TenantDirty, Household: "h1"})
+	b.Publish(Event{Kind: CheckpointDone, Shard: 2, Count: 5})
+	b.Publish(Event{Kind: EvictionQueued, Household: "h2"})
+	b.Publish(Event{Kind: WritebackFailed, Household: "h3", Err: "disk full"})
+
+	var got []Event
+	for i := 0; i < 4; i++ {
+		got = append(got, <-all.C())
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq <= got[i-1].Seq {
+			t.Fatalf("sequence not monotonic: %v", got)
+		}
+	}
+	ev := <-filtered.C()
+	if ev.Kind != CheckpointDone || ev.Count != 5 {
+		t.Fatalf("filtered listener got %+v", ev)
+	}
+	ev = <-filtered.C()
+	if ev.Kind != WritebackFailed || ev.Err != "disk full" {
+		t.Fatalf("filtered listener got %+v", ev)
+	}
+	select {
+	case ev := <-filtered.C():
+		t.Fatalf("filtered listener leaked %+v", ev)
+	default:
+	}
+	st := b.Stats()
+	if st.Published != 4 || st.Delivered != 6 || st.Dropped != 0 || st.Listeners != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestSlowSubscriberNeverBlocks is the shard-loop safety property: a
+// subscriber that never drains costs events, not publisher progress.
+func TestSlowSubscriberNeverBlocks(t *testing.T) {
+	t.Parallel()
+	b := NewBus()
+	_ = b.Subscribe(1, TenantDirty) // never read
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			b.Publish(Event{Kind: TenantDirty, Household: "h"})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	st := b.Stats()
+	if st.Delivered != 1 || st.Dropped != 999 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestUnsubscribeDuringPublish closes a listener while a publisher
+// hammers the bus: no send on a closed channel, the channel closes
+// exactly once, and the publisher finishes. Run under -race.
+func TestUnsubscribeDuringPublish(t *testing.T) {
+	t.Parallel()
+	b := NewBus()
+	l := b.Subscribe(4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5000; i++ {
+			b.Publish(Event{Kind: CheckpointDone, Shard: i})
+		}
+	}()
+	// Consume a few, then unsubscribe mid-stream.
+	for i := 0; i < 3; i++ {
+		<-l.C()
+	}
+	l.Close()
+	// The channel must close and deliver no event after Close returns.
+	for range l.C() {
+	}
+	wg.Wait()
+	if st := b.Stats(); st.Listeners != 0 || st.Published != 5000 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCloseIdempotent: Close twice (including concurrently) is safe.
+func TestCloseIdempotent(t *testing.T) {
+	t.Parallel()
+	b := NewBus()
+	l := b.Subscribe(1)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.Close()
+		}()
+	}
+	wg.Wait()
+	if _, open := <-l.C(); open {
+		t.Fatal("channel still open after Close")
+	}
+}
+
+// TestKindStrings keeps the catalogue's log names stable.
+func TestKindStrings(t *testing.T) {
+	t.Parallel()
+	want := map[Kind]string{
+		TenantDirty:     "tenant-dirty",
+		EvictionQueued:  "eviction-queued",
+		CheckpointDone:  "checkpoint-done",
+		WritebackFailed: "writeback-failed",
+		NodeDegraded:    "node-degraded",
+		NodeRecovered:   "node-recovered",
+		PeerLost:        "peer-lost",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if Kind(0).String() != "kind(0)" {
+		t.Errorf("zero kind: %q", Kind(0).String())
+	}
+}
+
+// BenchmarkBusPublish measures the publish fast path with one matching
+// listener being drained — the cost a shard loop pays per event.
+func BenchmarkBusPublish(b *testing.B) {
+	bus := NewBus()
+	l := bus.Subscribe(1024)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range l.C() {
+		}
+	}()
+	ev := Event{Kind: TenantDirty, Household: "h00042", Shard: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		bus.Publish(ev)
+	}
+	b.StopTimer()
+	l.Close()
+	<-done
+}

@@ -107,12 +107,50 @@ echo "$sraw"
 
 echo "wrote $sout"
 
+# Control plane: the work queue's drain throughput (dispatch + permits
+# + Done callbacks over a worker pool) and the event bus's publish fan-
+# out. Neither sits on the per-event serving path — jobs and events are
+# per checkpoint wave — so these bound how fine-grained control work
+# can get before the queue itself shows up in a drain.
+qout=BENCH_queue.json
+qpattern='BenchmarkQueueThroughput|BenchmarkBusPublish'
+qraw=$(go test -run '^$' -bench "$qpattern" -benchmem -count 1 ./internal/queue/ ./internal/notify/)
+echo "$qraw"
+
+{
+    echo '{'
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN),"
+    echo '  "note": "Control-plane fabric: one trivial job enqueued+drained per op at the fleet worker count (queue), and one event published per op with a single drained listener (bus). Dispatch order and digests are identical at every worker count; only wall-clock throughput moves.",'
+    echo '  "benchmarks": ['
+    echo "$qraw" | awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            nsop = ""; bop = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") nsop = $i
+                if ($(i+1) == "B/op") bop = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, allocs)
+        }
+        END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+    '
+    echo '  ]'
+    echo '}'
+} > "$qout"
+
+echo "wrote $qout"
+
 # Fleet throughput matrix: 1000 households through the sharded runtime
 # at GOMAXPROCS×shards = 1/2/4/8. Each row records the parallelism it
 # actually ran with (cpus = GOMAXPROCS, which may exceed host_cpus on
 # small hosts — the digest is identical either way, only the wall-clock
 # numbers move). The deterministic soak outcome goes to stdout; the
-# wall-clock numbers land in the JSON rows.
+# wall-clock numbers land in the JSON rows. A final row re-runs the
+# 8-shard soak with the control queue disabled (inline writes): the
+# queue row's throughput staying at or above it is the no-regression
+# evidence for the control-plane refactor.
 fout=BENCH_fleet.json
 rows=()
 for n in 1 2 4 8; do
@@ -120,12 +158,15 @@ for n in 1 2 4 8; do
     GOMAXPROCS=$n go run ./cmd/coreda-bench -households 1000 -fleet-shards "$n" -fleet-json "$row" fleet
     rows+=("$row")
 done
+row="/tmp/coreda-bench-fleet-inline.json"
+GOMAXPROCS=8 go run ./cmd/coreda-bench -households 1000 -fleet-shards 8 -fleet-control inline -fleet-json "$row" fleet
+rows+=("$row")
 
 {
     echo '{'
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
-    echo '  "note": "GOMAXPROCS x shards matrix over the same 1000-household soak. Digest and stats are identical on every row; only elapsed_sec/events_per_sec may differ.",'
+    echo '  "note": "GOMAXPROCS x shards matrix over the same 1000-household soak, plus an inline-control row at 8 shards. Digest and stats are identical on every row; only elapsed_sec/events_per_sec (and the control/job_retries bookkeeping) may differ.",'
     echo '  "rows": ['
     for i in "${!rows[@]}"; do
         sep=","
@@ -135,7 +176,7 @@ done
     echo '  ]'
     echo '}'
 } > "$fout"
-rm -f /tmp/coreda-bench-fleet-{1,2,4,8}.json
+rm -f /tmp/coreda-bench-fleet-{1,2,4,8}.json /tmp/coreda-bench-fleet-inline.json
 
 echo "wrote $fout"
 

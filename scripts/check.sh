@@ -65,7 +65,24 @@ diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-s8.txt
 echo "== fleet soak (store-format json must match binary, race-enabled)"
 go run -race ./cmd/coreda-bench -households 1000 -store-format json fleet > /tmp/coreda-fleet-json.txt
 diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-json.txt
-rm -f /tmp/coreda-fleet-s{1,4,8}.txt /tmp/coreda-fleet-json.txt
+
+# Control-plane parity gate: the same soak with the control queue
+# disabled (-fleet-control inline, the pre-queue code path where each
+# shard writes its evictions and checkpoints in place) must produce
+# byte-identical stdout at every shard count — the proof that moving
+# control work onto the queue's drain boundary changed scheduling, not
+# outcomes. A further run injects failures into the queued jobs: the
+# retry budget must absorb them without touching a digest (stdout
+# deliberately omits control mode, job-failure rate and retry counts).
+echo "== fleet soak (control queue vs inline vs jobfail must match, race-enabled)"
+for n in 1 4 8; do
+    go run -race ./cmd/coreda-bench -households 1000 -fleet-shards "$n" -fleet-control inline fleet > "/tmp/coreda-fleet-inline-s$n.txt"
+    diff "/tmp/coreda-fleet-s$n.txt" "/tmp/coreda-fleet-inline-s$n.txt"
+done
+go run -race ./cmd/coreda-bench -households 1000 -fleet-jobfail 0.2 fleet > /tmp/coreda-fleet-jobfail.txt
+diff /tmp/coreda-fleet-s1.txt /tmp/coreda-fleet-jobfail.txt
+rm -f /tmp/coreda-fleet-s{1,4,8}.txt /tmp/coreda-fleet-json.txt \
+      /tmp/coreda-fleet-inline-s{1,4,8}.txt /tmp/coreda-fleet-jobfail.txt
 
 # Cluster kill-recovery gate: the same soak split across 3 worker
 # processes — one of which is SIGKILLed mid-run, after applying a round
