@@ -77,3 +77,56 @@ func TestShardIngestAllocBudget(t *testing.T) {
 		t.Errorf("shard ingest allocates %.3f mallocs/event over %d events, budget %.2f", perEvent, events, budget)
 	}
 }
+
+// TestAdvanceTickAllocBudget locks the clock-pump path over a shard of
+// idle tenants to (almost) zero allocations per tick: the tick is a
+// plain channel message (no closure capturing the deadline), the
+// dispatch is a due-heap peek that finds nothing due, and no per-tick
+// scratch — the old sorted-households slice — is built. The budget
+// absorbs only the single Stats barrier closing the measured window.
+func TestAdvanceTickAllocBudget(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets are enforced by the no-race pass (scripts/check.sh)")
+	}
+	cfg := testConfig(t.TempDir())
+	cfg.Shards = 1
+	cfg.Control = ControlInline
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	defer f.Stop()
+
+	// A population of resident households with no timers and no eviction
+	// deadline (IdleEvict is off): nothing is ever due, so every tick
+	// must cost O(1) — and allocate nothing.
+	const resident = 1024
+	for i := 0; i < resident; i++ {
+		if err := f.Deliver(Event{Household: fmt.Sprintf("idle-%04d", i), Kind: EventAdvance}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Stats()
+	for i := 0; i < 100; i++ { // warm the pump
+		f.advanceAll(time.Duration(i) * time.Millisecond)
+	}
+	f.Stats()
+
+	const ticks = 2000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ticks; i++ {
+		f.advanceAll(time.Duration(100+i) * time.Millisecond)
+	}
+	f.Stats() // barrier: every tick has been dispatched
+	runtime.ReadMemStats(&after)
+
+	perTick := float64(after.Mallocs-before.Mallocs) / ticks
+	const budget = 0.05
+	t.Logf("advance tick: %.4f mallocs/tick over %d ticks, %d idle tenants", perTick, ticks, resident)
+	if perTick > budget {
+		t.Errorf("advance tick allocates %.4f mallocs/tick over %d ticks, budget %.2f", perTick, ticks, budget)
+	}
+}

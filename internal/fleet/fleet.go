@@ -64,6 +64,25 @@ const (
 	ControlInline
 )
 
+// AdvanceMode selects how a shard finds the tenants a clock-pump tick
+// must touch.
+type AdvanceMode int
+
+// Advance modes.
+const (
+	// AdvanceIndexed (the default) consults the shard's due-time tenant
+	// index: a tick only touches tenants whose next timer or
+	// idle-eviction deadline is <= the pump time, in (due, household)
+	// order. A tick over a shard of idle tenants is O(1).
+	AdvanceIndexed AdvanceMode = iota
+	// AdvanceSweep is the pre-index path: every resident tenant is swept
+	// in lexical household order on every tick, O(resident) regardless
+	// of due work. Kept as the parity baseline the indexed path is
+	// diffed against (TestAdvanceParity, scripts/check.sh) and as the
+	// bench baseline for BenchmarkAdvanceIdleSweep.
+	AdvanceSweep
+)
+
 // Control-plane job classes and priorities: eviction writebacks drain
 // before checkpoint writes at a shared boundary (an evicted tenant's
 // file is its final state; a dirty tenant's file will be rewritten).
@@ -118,6 +137,11 @@ type Config struct {
 	// Control selects the control-plane execution path; the zero value
 	// is the queue-backed one (ControlQueue).
 	Control ControlMode
+	// Advance selects how clock-pump ticks find due tenants; the zero
+	// value is the due-time index (AdvanceIndexed). Both modes produce
+	// byte-identical policy files — the sweep is kept only as the parity
+	// and bench baseline.
+	Advance AdvanceMode
 	// Bus, if non-nil, receives control-plane events (notify.TenantDirty,
 	// EvictionQueued, CheckpointDone, WritebackFailed). Publishing never
 	// blocks a shard loop; correctness never depends on delivery.
@@ -259,6 +283,30 @@ type shard struct {
 	// flushIDs is the reusable scratch for flush's deterministic
 	// (sorted) checkpoint order.
 	flushIDs []string
+	// due is the due-time tenant index: an intrusive min-heap over the
+	// resident tenants that have any due work coming — a pending
+	// scheduler timer, or an idle-eviction deadline — keyed by
+	// (Tenant.dueAt, Tenant.ID). Tenants with neither (idle households
+	// with eviction disabled, or fully quiesced) are simply absent, so
+	// an advance tick never touches them. Maintained on admit, deliver,
+	// Do, eviction and resurrection via refreshDue/dueRemove.
+	due []*Tenant
+	// sweepIDs is the reusable scratch of the sweep-mode advance (the
+	// pre-index baseline), so even the baseline allocates nothing per
+	// tick.
+	sweepIDs []string
+	// tickSeq/tickAt record the shard-wide clock pumps: tickSeq counts
+	// them and tickAt is the latest pump time. Together with
+	// Tenant.tickSeq (the count snapshotted at admission) they give the
+	// indexed advance the sweep's exact clock semantics lazily: a sweep
+	// raises every resident tenant's clock to the tick time, so an event
+	// stamped earlier than a tick that preceded it on the shard queue is
+	// processed at the tick time; the indexed path leaves idle tenants
+	// untouched and instead applies tickAt as a floor in handle — but
+	// only for tenants admitted before the tick, because a sweep never
+	// advanced tenants admitted after it.
+	tickSeq uint64
+	tickAt  time.Duration
 	// evictq holds tenants already removed from the resident map whose
 	// final checkpoint write is still pending: eviction writes are
 	// batched at drain-batch boundaries (drainEvictions) so a sweep of
@@ -413,7 +461,11 @@ func (f *Fleet) Do(household string, fn func(*Tenant) error) error {
 			res <- err
 			return
 		}
-		res <- fn(t)
+		err = fn(t)
+		// fn may have armed or cancelled timers (started a session, say):
+		// recompute the tenant's slot in the due-time index.
+		s.refreshDue(t)
+		res <- err
 	}}
 	return <-res
 }
@@ -477,6 +529,7 @@ func (s *shard) evictNow(household string) error {
 	s.stats.Checkpoints++
 	s.publishCheckpointDone(1)
 	delete(s.tenants, household)
+	s.dueRemove(t)
 	if s.lastT == t {
 		s.lastID, s.lastT = "", nil
 	}
@@ -498,13 +551,31 @@ func (f *Fleet) barrier(fn func(*shard)) {
 	wg.Wait()
 }
 
-// advanceAll moves every resident tenant's virtual clock to at least
-// `to`, firing due timers and the idle-eviction check. The serving layer
-// calls this from its wall-clock pump; it does not wait for completion.
+// advanceAll moves every tenant with due work's virtual clock to at
+// least `to`, firing due timers and the idle-eviction check. The serving
+// layer calls this from its wall-clock pump; it does not wait for
+// completion. The tick is encoded as a household-less EventAdvance
+// message rather than a control closure, so a pump tick allocates
+// nothing (a closure would heap-allocate its captured deadline).
 func (f *Fleet) advanceAll(to time.Duration) {
 	for _, s := range f.shards {
-		s.in <- msg{fn: func(s *shard) { s.advanceAll(to) }}
+		s.in <- msg{ev: Event{Kind: EventAdvance, At: to}}
 	}
+}
+
+// Advance asks every shard to move its due tenants' virtual clocks to
+// at least to — the external clock pump, for serving layers (and idle
+// benchmarks) driving the fleet off their own wall or virtual clock.
+// It does not wait for the ticks to be processed; a Stats call is a
+// barrier if the caller needs one. to values should be non-decreasing,
+// and events delivered after an Advance should not be stamped before it
+// (a monotone source clock gives both for free).
+func (f *Fleet) Advance(to time.Duration) error {
+	if f.state.Load() != fleetStarted {
+		return fmt.Errorf("fleet: not running")
+	}
+	f.advanceAll(to)
+	return nil
 }
 
 // Flush checkpoints every dirty tenant on every shard (batch per-shard
@@ -612,6 +683,15 @@ func (s *shard) dispatch(m msg) {
 		m.fn(s)
 		return
 	}
+	if m.ev.Kind == EventAdvance && m.ev.Household == "" {
+		// A shard-wide clock-pump tick (Fleet.advanceAll). Like control
+		// closures it is a drain point, so eviction checkpoints cannot be
+		// deferred past a tick. Deliver rejects empty households, so the
+		// encoding cannot collide with tenant traffic.
+		s.drainEvictions(false)
+		s.advanceAll(m.ev.At)
+		return
+	}
 	s.handle(m.ev)
 }
 
@@ -633,10 +713,17 @@ func (s *shard) handle(ev Event) {
 	}
 	// The tenant clock never goes backwards: a late event is processed
 	// at the tenant's current time (same policy as a real gateway, which
-	// stamps arrival time).
+	// stamps arrival time). A shard-wide tick that preceded this event on
+	// the queue is a floor too — the tenant may not have been touched by
+	// the tick (the indexed advance skips non-due tenants), but a sweep
+	// would have raised its clock, and the two modes must stay
+	// byte-identical.
 	at := ev.At
 	if now := t.Sched.Now(); at < now {
 		at = now
+	}
+	if t.tickSeq != s.tickSeq && at < s.tickAt {
+		at = s.tickAt
 	}
 	t.Sched.RunUntil(at)
 	switch ev.Kind {
@@ -655,7 +742,9 @@ func (s *shard) handle(ev Event) {
 	case EventAdvance:
 		// Clock only; the eviction check below does the rest.
 	}
-	s.maybeEvict(t)
+	if !s.maybeEvict(t) {
+		s.refreshDue(t)
+	}
 }
 
 // markDirty records that t has events since its last checkpoint. The
@@ -694,6 +783,10 @@ func (s *shard) admit(household string) (*Tenant, error) {
 		return nil, err
 	}
 	s.tenants[household] = t
+	// Ticks before admission never applied to this tenant (a sweep only
+	// touches residents), so the floor in handle must ignore them.
+	t.tickSeq = s.tickSeq
+	s.refreshDue(t)
 	s.stats.Admissions++
 	switch recovered {
 	case recoveredCheckpoint:
@@ -709,23 +802,24 @@ func (s *shard) admit(household string) (*Tenant, error) {
 }
 
 // maybeEvict releases a tenant idle past the deadline on its own
-// virtual clock. Mid-session tenants are kept: a session in flight pins
-// the tenant. The eviction decision (and the resident-map removal) is
-// immediate and purely virtual-time-driven — identical at any shard
-// count — but the final checkpoint write of a dirty tenant is queued
-// and batched at the next drain boundary, where a sweep of evictions
-// becomes one parallel write wave. The file bytes are a pure function
-// of the tenant's state at eviction, so deferring the write cannot
-// change any policy file or the parity digest.
-func (s *shard) maybeEvict(t *Tenant) {
+// virtual clock, reporting whether it did. Mid-session tenants are
+// kept: a session in flight pins the tenant. The eviction decision (and
+// the resident-map removal) is immediate and purely virtual-time-driven
+// — identical at any shard count — but the final checkpoint write of a
+// dirty tenant is queued and batched at the next drain boundary, where
+// a sweep of evictions becomes one parallel write wave. The file bytes
+// are a pure function of the tenant's state at eviction, so deferring
+// the write cannot change any policy file or the parity digest.
+func (s *shard) maybeEvict(t *Tenant) bool {
 	d := s.f.cfg.IdleEvict
 	if d <= 0 || t.System.Active() {
-		return
+		return false
 	}
 	if t.Sched.Now()-t.lastEvent < d {
-		return
+		return false
 	}
 	delete(s.tenants, t.ID)
+	s.dueRemove(t)
 	if s.lastT == t {
 		s.lastID, s.lastT = "", nil
 	}
@@ -738,9 +832,10 @@ func (s *shard) maybeEvict(t *Tenant) {
 		if bus := s.f.cfg.Bus; bus != nil {
 			bus.Publish(notify.Event{Kind: notify.EvictionQueued, Household: t.ID, Shard: s.idx})
 		}
-		return
+		return true
 	}
 	s.f.log("shard %d: evicted %s (idle %v)", s.idx, t.ID, t.Sched.Now()-t.lastEvent)
+	return true
 }
 
 // drainEvictions writes the final checkpoints of tenants evicted since
@@ -846,6 +941,7 @@ func (s *shard) finishEvict(t *Tenant, err error) {
 		s.f.log("shard %d: evict %s: %v", s.idx, t.ID, err)
 		s.tenants[t.ID] = t
 		s.dirty[t.ID] = t
+		s.refreshDue(t)
 		s.stats.Evictions--
 		s.stats.WritebackFailures++
 		if bus := s.f.cfg.Bus; bus != nil {
@@ -880,16 +976,208 @@ func (s *shard) writebackEvicted(household string) *Tenant {
 	return nil
 }
 
-// advanceAll pumps every resident tenant's clock to `to` and sweeps for
-// idle evictions. Iteration order is sorted for deterministic logs.
+// advanceAll pumps due tenants' clocks to `to`, firing their timers and
+// the idle-eviction check. The indexed path pops the due-time heap: it
+// touches exactly the tenants whose next timer or eviction deadline is
+// <= to, in (due, household) order, and never wakes an idle household —
+// a tick over a shard of quiesced tenants is a single heap peek.
+//
+// Termination: a popped tenant is reinserted only via refreshDue, and
+// after RunUntil(to) its next timer is > to (RunUntil fires everything
+// due, including timers armed by the fired callbacks), while an
+// eviction deadline <= to would have evicted it (an Active tenant has
+// no eviction component at all). So every reinserted due is > to and
+// the loop pops each due tenant exactly once per tick.
+//
+//coreda:hotpath
 func (s *shard) advanceAll(to time.Duration) {
-	for _, id := range sortedHouseholds(s.tenants) {
+	s.tickSeq++
+	if to > s.tickAt {
+		s.tickAt = to
+	}
+	if s.f.cfg.Advance == AdvanceSweep {
+		s.advanceSweep(to)
+		return
+	}
+	for len(s.due) > 0 && s.due[0].dueAt <= to {
+		t := s.duePop()
+		if to > t.Sched.Now() {
+			t.Sched.RunUntil(to)
+		}
+		if !s.maybeEvict(t) {
+			s.refreshDue(t)
+		}
+	}
+}
+
+// advanceSweep is the pre-index advance: every resident tenant is
+// pumped in lexical household order, whether or not it has due work.
+// Kept as the baseline the indexed path is diffed against
+// (TestAdvanceParity) and benchmarked against; the sweep still
+// maintains the due index so the modes can be switched freely. The
+// sorted scratch is reused across ticks, so even the baseline allocates
+// nothing per tick at steady state.
+func (s *shard) advanceSweep(to time.Duration) {
+	s.sweepIDs = s.sweepIDs[:0]
+	for id := range s.tenants {
+		s.sweepIDs = append(s.sweepIDs, id)
+	}
+	sort.Strings(s.sweepIDs)
+	for _, id := range s.sweepIDs {
 		t := s.tenants[id]
 		if to > t.Sched.Now() {
 			t.Sched.RunUntil(to)
 		}
-		s.maybeEvict(t)
+		if !s.maybeEvict(t) {
+			s.refreshDue(t)
+		}
 	}
+}
+
+// tenantDue computes the earliest virtual time at which t has work a
+// clock pump must deliver: its next scheduler timer, or — when idle
+// eviction is on and no session pins it — its idle-eviction deadline.
+// ok is false when the tenant has neither, i.e. it can sleep forever
+// until external traffic arrives.
+//
+//coreda:hotpath
+func (s *shard) tenantDue(t *Tenant) (time.Duration, bool) {
+	next, ok := t.Sched.NextDue()
+	if d := s.f.cfg.IdleEvict; d > 0 && !t.System.Active() {
+		if ev := t.lastEvent + d; !ok || ev < next {
+			next, ok = ev, true
+		}
+	}
+	return next, ok
+}
+
+// refreshDue recomputes t's due time and moves it to the right place in
+// the shard's due-time index — inserting, repositioning or removing it.
+// Called after anything that can change a tenant's timers or eviction
+// deadline: admission, event delivery, Do closures, a clock pump, and
+// resurrection after a failed eviction writeback.
+//
+//coreda:hotpath
+func (s *shard) refreshDue(t *Tenant) {
+	at, ok := s.tenantDue(t)
+	if !ok {
+		s.dueRemove(t)
+		return
+	}
+	if t.dueIdx < 0 {
+		t.dueAt = at
+		s.duePush(t)
+		return
+	}
+	if t.dueAt != at {
+		t.dueAt = at
+		s.dueFix(int(t.dueIdx))
+	}
+}
+
+// The due-time index is a hand-rolled intrusive binary min-heap over
+// *Tenant, ordered by (dueAt, ID); Tenant.dueIdx tracks each element's
+// position so removal and reposition are O(log n) without a search.
+// container/heap would box every element through its interface and
+// allocate on the hot pump path. Every primitive below is hotalloc-
+// gated: the only allocation in the whole index is duePush's amortized
+// slice growth, which escape analysis does not (and should not) flag.
+
+func dueLess(a, b *Tenant) bool {
+	if a.dueAt != b.dueAt {
+		return a.dueAt < b.dueAt
+	}
+	return a.ID < b.ID
+}
+
+//coreda:hotpath
+func (s *shard) duePush(t *Tenant) {
+	t.dueIdx = int32(len(s.due))
+	s.due = append(s.due, t)
+	s.dueUp(len(s.due) - 1)
+}
+
+//coreda:hotpath
+func (s *shard) duePop() *Tenant {
+	t := s.due[0]
+	n := len(s.due) - 1
+	s.dueSwap(0, n)
+	s.due[n] = nil
+	s.due = s.due[:n]
+	if n > 0 {
+		s.dueDown(0)
+	}
+	t.dueIdx = -1
+	return t
+}
+
+// dueRemove detaches t from the index; a tenant not in it is a no-op.
+//
+//coreda:hotpath
+func (s *shard) dueRemove(t *Tenant) {
+	i := int(t.dueIdx)
+	if i < 0 {
+		return
+	}
+	n := len(s.due) - 1
+	if i != n {
+		s.dueSwap(i, n)
+	}
+	s.due[n] = nil
+	s.due = s.due[:n]
+	if i != n {
+		s.dueFix(i)
+	}
+	t.dueIdx = -1
+}
+
+// dueFix restores heap order after the element at i changed its key.
+//
+//coreda:hotpath
+func (s *shard) dueFix(i int) {
+	if !s.dueDown(i) {
+		s.dueUp(i)
+	}
+}
+
+func (s *shard) dueUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !dueLess(s.due[i], s.due[parent]) {
+			break
+		}
+		s.dueSwap(i, parent)
+		i = parent
+	}
+}
+
+// dueDown sifts the element at i toward the leaves, reporting whether
+// it moved (so dueFix knows to try sifting up instead).
+func (s *shard) dueDown(i int) bool {
+	n := len(s.due)
+	i0 := i
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		j := l
+		if r := l + 1; r < n && dueLess(s.due[r], s.due[l]) {
+			j = r
+		}
+		if !dueLess(s.due[j], s.due[i]) {
+			break
+		}
+		s.dueSwap(i, j)
+		i = j
+	}
+	return i > i0
+}
+
+func (s *shard) dueSwap(i, j int) {
+	s.due[i], s.due[j] = s.due[j], s.due[i]
+	s.due[i].dueIdx = int32(i)
+	s.due[j].dueIdx = int32(j)
 }
 
 // flush checkpoints every dirty tenant (batch per-shard checkpointing).

@@ -3,7 +3,6 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"coreda"
@@ -41,6 +40,18 @@ type Tenant struct {
 	// lastEvent is the virtual time of the last delivered event; the
 	// idle-eviction clock measures from here.
 	lastEvent time.Duration
+	// dueAt/dueIdx are the tenant's slot in its shard's due-time index
+	// (shard.due): dueAt is the earliest virtual time at which the tenant
+	// has work — its next scheduler timer or its idle-eviction deadline —
+	// and dueIdx is its position in the intrusive min-heap, -1 when the
+	// tenant has no due work and is absent from the index. Owned by the
+	// shard loop, like everything else here.
+	dueAt  time.Duration
+	dueIdx int32
+	// tickSeq is the shard's tick count at this tenant's admission: ticks
+	// up to it predate the tenant and are excluded from the clock floor
+	// handle applies (see shard.tickSeq/tickAt).
+	tickSeq uint64
 	// loadErr records why a checkpoint could not be restored (the tenant
 	// then started fresh).
 	loadErr error
@@ -80,6 +91,7 @@ func newTenant(id string, cfg coreda.SystemConfig, b store.Backend, tryLoad bool
 		System:   sys,
 		activity: cfg.Activity,
 		enc:      store.EncodeRoutines([]adl.Routine{cfg.Activity.CanonicalRoutine()}),
+		dueIdx:   -1,
 	}
 	if !tryLoad {
 		return t, recoveredFresh, nil
@@ -136,15 +148,4 @@ func (t *Tenant) save(b store.Backend, sv *store.MultiSaver, fsync bool) error {
 	t.tables[0] = p.Table()
 	t.states[0] = store.TrainState{Episodes: p.Episodes, Epsilon: p.Epsilon()}
 	return sv.Save(b, t.ID, t.ID, t.activity.Name, t.enc, t.tables[:], t.states[:], fsync)
-}
-
-// sortedHouseholds returns a shard's resident household IDs in lexical
-// order, for deterministic sweep and flush order.
-func sortedHouseholds(tenants map[string]*Tenant) []string {
-	out := make([]string, 0, len(tenants))
-	for id := range tenants {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
 }

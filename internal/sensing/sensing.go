@@ -102,7 +102,7 @@ type Subsystem struct {
 	lastAt      time.Duration
 	lastUsageAt time.Duration // last real tool usage; idle events excluded
 	expected    adl.ToolID
-	idleTimer   *sim.Event
+	idleTimer   sim.Timer
 	idleFire    func() // shared idle-timeout callback, built once in New
 	running     bool
 
@@ -148,10 +148,8 @@ func (s *Subsystem) Start() {
 // Stop ends the session and disarms the watchdog.
 func (s *Subsystem) Stop() {
 	s.running = false
-	if s.idleTimer != nil {
-		s.idleTimer.Cancel()
-		s.idleTimer = nil
-	}
+	s.idleTimer.Cancel()
+	s.idleTimer = sim.Timer{}
 }
 
 // SetExpected tells the subsystem which tool the planner expects next, so

@@ -96,7 +96,7 @@ type Medium struct {
 	inj   FaultInjector
 
 	lastTx    time.Duration
-	lastInAir *sim.Event
+	lastInAir sim.Timer
 	everTx    bool
 
 	// Stats accumulates channel events.
@@ -157,14 +157,14 @@ func (m *Medium) deliver(toGateway bool, uid uint16, frame []byte, sink func([]b
 		// Overlapping transmissions: destroy the frame still in the air
 		// (if it has not landed yet) and this one.
 		destroyed := 1
-		if m.lastInAir != nil && !m.lastInAir.Cancelled() && m.lastInAir.At() > now {
+		if m.lastInAir.Pending() && m.lastInAir.At() > now {
 			m.lastInAir.Cancel()
 			destroyed++
 		}
 		m.Stats.Collisions += destroyed
 		m.Stats.Lost += destroyed
 		m.lastTx = now
-		m.lastInAir = nil
+		m.lastInAir = sim.Timer{}
 		return
 	}
 	m.lastTx = now

@@ -76,7 +76,7 @@ type Node struct {
 type pendingTx struct {
 	frame []byte
 	tries int
-	timer *sim.Event
+	timer sim.Timer
 }
 
 // NewNode creates a node on the given scheduler and medium, fed by src.

@@ -81,8 +81,8 @@ func TestReschedule(t *testing.T) {
 	if s.Reschedule(c, 2*time.Second) {
 		t.Error("rescheduling a cancelled event returned true")
 	}
-	if s.Reschedule(nil, time.Second) {
-		t.Error("rescheduling nil returned true")
+	if s.Reschedule(Timer{}, time.Second) {
+		t.Error("rescheduling the zero Timer returned true")
 	}
 	s.Run()
 }
@@ -119,9 +119,12 @@ func TestCancel(t *testing.T) {
 	s := New()
 	fired := false
 	e := s.At(time.Second, func() { fired = true })
+	if !e.Pending() {
+		t.Error("Pending() = false before Cancel")
+	}
 	e.Cancel()
-	if !e.Cancelled() {
-		t.Error("Cancelled() = false")
+	if e.Pending() {
+		t.Error("Pending() = true after Cancel")
 	}
 	s.Run()
 	if fired {

@@ -16,6 +16,15 @@ pattern='BenchmarkAblationsParallel|BenchmarkQLambdaObserve|BenchmarkPlannerTrai
 raw=$(go test -run '^$' -bench "$pattern" -benchmem -count 1 .)
 echo "$raw"
 
+# Timer core: the virtual clock's schedule/fire/re-arm/cancel cycles.
+# Every row must stay at 0 allocs/op (TestSchedulerAllocBudgets in the
+# no-race pass of scripts/check.sh locks the budgets; this records the
+# time).
+simraw=$(go test -run '^$' -bench 'BenchmarkSchedulerAt|BenchmarkSchedulerReschedule|BenchmarkSchedulerCancelChurn' -benchmem -count 1 ./internal/sim/)
+echo "$simraw"
+raw="$raw
+$simraw"
+
 {
     echo '{'
     echo "  \"go\": \"$(go env GOVERSION)\","
@@ -162,21 +171,60 @@ row="/tmp/coreda-bench-fleet-inline.json"
 GOMAXPROCS=8 go run ./cmd/coreda-bench -households 1000 -fleet-shards 8 -fleet-control inline -fleet-json "$row" fleet
 rows+=("$row")
 
+# Idle-advance rows: the clock-pump cost over a 10k-household population
+# with 1% mid-session, under the due-time index and the pre-index sweep.
+# The indexed row's ticks_per_sec must dwarf the sweep row's — that gap
+# is the tentpole number (BenchmarkAdvanceIdle measures the same path at
+# the shard level with exact allocs/op).
+idle_rows=()
+for mode in indexed sweep; do
+    row="/tmp/coreda-bench-fleetidle-$mode.json"
+    go run ./cmd/coreda-bench -households 10000 -idle-active 100 -idle-ticks 2000 -fleet-shards 1 -fleet-advance "$mode" -fleet-json "$row" fleetidle
+    idle_rows+=("$row")
+done
+
+# The same comparison at the shard level (no fleet goroutines), where
+# allocs/op is exact: BenchmarkAdvanceIdle must report 0 allocs/op.
+araw=$(go test -run '^$' -bench 'BenchmarkAdvanceIdle' -benchmem -count 1 ./internal/fleet/)
+echo "$araw"
+
 {
     echo '{'
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"host_cpus\": $(getconf _NPROCESSORS_ONLN),"
-    echo '  "note": "GOMAXPROCS x shards matrix over the same 1000-household soak, plus an inline-control row at 8 shards. Digest and stats are identical on every row; only elapsed_sec/events_per_sec (and the control/job_retries bookkeeping) may differ.",'
+    echo '  "note": "GOMAXPROCS x shards matrix over the same 1000-household soak, plus an inline-control row at 8 shards. Digest and stats are identical on every row; only elapsed_sec/events_per_sec (and the control/job_retries bookkeeping) may differ. idle_rows measure the clock pump over a mostly-idle 10k-household population: indexed (due-time tenant index) vs sweep (pre-index full walk); their deterministic stdout is identical, only ticks_per_sec differs.",'
     echo '  "rows": ['
     for i in "${!rows[@]}"; do
         sep=","
         [[ $i -eq $((${#rows[@]} - 1)) ]] && sep=""
         sed "\$s/\$/$sep/" "${rows[$i]}"
     done
+    echo '  ],'
+    echo '  "idle_rows": ['
+    for i in "${!idle_rows[@]}"; do
+        sep=","
+        [[ $i -eq $((${#idle_rows[@]} - 1)) ]] && sep=""
+        sed "\$s/\$/$sep/" "${idle_rows[$i]}"
+    done
+    echo '  ],'
+    echo '  "idle_benchmarks": ['
+    echo "$araw" | awk '
+        /^Benchmark/ {
+            name = $1; sub(/-[0-9]+$/, "", name)
+            nsop = ""; bop = ""; allocs = ""
+            for (i = 2; i < NF; i++) {
+                if ($(i+1) == "ns/op") nsop = $i
+                if ($(i+1) == "B/op") bop = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            lines[n++] = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", name, nsop, bop, allocs)
+        }
+        END { for (i = 0; i < n; i++) printf "%s%s\n", lines[i], (i < n-1 ? "," : "") }
+    '
     echo '  ]'
     echo '}'
 } > "$fout"
-rm -f /tmp/coreda-bench-fleet-{1,2,4,8}.json /tmp/coreda-bench-fleet-inline.json
+rm -f /tmp/coreda-bench-fleet-{1,2,4,8}.json /tmp/coreda-bench-fleet-inline.json /tmp/coreda-bench-fleetidle-{indexed,sweep}.json
 
 echo "wrote $fout"
 

@@ -31,13 +31,23 @@ go test -race ./...
 # The zero-allocation budgets on the serving path skip themselves under
 # the race detector (its instrumentation allocates), so they are
 # enforced by an explicit no-race pass over the serving packages:
-# the wire codec, the shard ingest loop, the node client's report path,
-# and the CKPT checkpoint codec. The hotalloc analyzer rides in the same
-# phase — it names the escaping expression when a //coreda:hotpath
-# function regresses, which an AllocsPerRun count never does.
+# the wire codec, the timer core, the shard ingest + clock-pump loops,
+# the node client's report path, and the CKPT checkpoint codec. The
+# hotalloc analyzer rides in the same phase — it names the escaping
+# expression when a //coreda:hotpath function regresses, which an
+# AllocsPerRun count never does.
 echo "== alloc budgets (no race)"
-go test -run 'Alloc' ./internal/wire/ ./internal/fleet/ ./internal/rtbridge/ ./internal/store/
+go test -run 'Alloc' ./internal/wire/ ./internal/sim/ ./internal/fleet/ ./internal/rtbridge/ ./internal/store/
 go run ./cmd/coreda-vet -only hotalloc ./...
+
+# Advance parity gate: the due-time tenant index must be observationally
+# equivalent to the pre-index full sweep — identical digests at 1/4/8
+# shards (TestAdvanceParity) and identical late-event clamping via the
+# lazy tick floor (TestLateEventAfterTickParity). The differential test
+# pins the scheduler itself against a naive reference implementation.
+echo "== advance parity (indexed vs sweep, race-enabled)"
+go test -race -count 1 -run 'TestAdvanceParity|TestLateEventAfterTickParity|TestDueHeap' ./internal/fleet/
+go test -race -count 1 -run 'TestSchedulerMatchesNaiveReference' ./internal/sim/
 
 echo "== chaos soak (workers 1 vs 4 must match)"
 go run ./cmd/coreda-bench -workers 1 chaos > /tmp/coreda-soak-w1.txt
